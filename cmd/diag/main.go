@@ -1,0 +1,68 @@
+// Command diag runs ad-hoc scheduler/gating combinations on selected
+// benchmarks and prints cycle counts and idle structure, for development
+// diagnosis (e.g. isolating the scheduling cost of GATES from gating).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/sim"
+)
+
+func main() {
+	sms := flag.Int("sms", 6, "number of SMs")
+	scale := flag.Float64("scale", 0.6, "workload scale")
+	benches := flag.String("bench", "lavaMD,backprop,sgemm,hotspot,nw,bfs", "comma-separated benchmarks")
+	flag.Parse()
+
+	combos := []struct {
+		name  string
+		sched config.SchedulerKind
+		gate  config.GatingKind
+	}{
+		{"TwoLevel/None", config.SchedTwoLevel, config.GateNone},
+		{"GATES/None", config.SchedGATES, config.GateNone},
+		{"TwoLevel/Conv", config.SchedTwoLevel, config.GateConventional},
+		{"GATES/Conv", config.SchedGATES, config.GateConventional},
+	}
+
+	for _, b := range strings.Split(*benches, ",") {
+		k, err := kernels.Benchmark(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		k = k.Scale(*scale)
+		var baseCycles int64
+		for _, cb := range combos {
+			cfg := config.GTX480()
+			cfg.NumSMs = *sms
+			cfg.Scheduler = cb.sched
+			cfg.Gating = cb.gate
+			gpu, err := sim.NewGPU(cfg, k)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep := gpu.Run()
+			if baseCycles == 0 {
+				baseCycles = rep.Cycles
+			}
+			di := rep.Domains[isa.INT]
+			df := rep.Domains[isa.FP]
+			r1, r2, r3 := di.IdlePeriods.Regions3(cfg.IdleDetect, cfg.BreakEven)
+			fmt.Printf("%-10s %-14s cyc=%7d perf=%.3f intIdle=%.2f fpIdle=%.2f intRegions=%.2f/%.2f/%.2f gat=%d wak=%d neg=%d memStall=%d gateStall=%d\n",
+				b, cb.name, rep.Cycles, float64(baseCycles)/float64(rep.Cycles),
+				di.IdleFraction(), df.IdleFraction(), r1, r2, r3,
+				di.GatingEvents, di.Wakeups, di.NegativeEvents,
+				rep.IssueStallsMem, rep.IssueStallsGate)
+		}
+		fmt.Println()
+	}
+}

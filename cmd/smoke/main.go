@@ -1,0 +1,101 @@
+// Command smoke is a development calibration harness: it prints the headline
+// aggregates of the paper's result figures (Fig. 9 suite averages and the
+// Fig. 10 performance geomeans) at a configurable machine size and workload
+// scale, so model tuning can iterate quickly before a full 15-SM run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/core"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/power"
+)
+
+func main() {
+	sms := flag.Int("sms", 6, "number of SMs")
+	scale := flag.Float64("scale", 0.6, "workload scale")
+	perBench := flag.Bool("bench", false, "print per-benchmark rows")
+	flag.Parse()
+
+	cfg := config.GTX480()
+	cfg.NumSMs = *sms
+	r := core.NewRunner(cfg)
+	r.Scale = *scale
+	model := power.Default(cfg.BreakEven)
+
+	techs := core.GatedTechniques()
+	type agg struct {
+		intSav, fpSav, perf []float64
+	}
+	sums := map[core.Technique]*agg{}
+	for _, t := range techs {
+		sums[t] = &agg{}
+	}
+
+	t0 := time.Now()
+	for _, b := range kernels.BenchmarkNames {
+		base, err := r.Run(b, core.Baseline)
+		die(err)
+		if *perBench {
+			fmt.Printf("%-10s cycles=%7d avgW=%5.1f maxW=%2d intIdle=%.2f fpIdle=%.2f\n",
+				b, base.Cycles, base.ActiveWarpAvg, base.ActiveWarpMax,
+				base.Domains[isa.INT].IdleFraction(), base.Domains[isa.FP].IdleFraction())
+		}
+		for _, t := range techs {
+			rep, err := r.Run(b, t)
+			die(err)
+			a := sums[t]
+			a.intSav = append(a.intSav, model.AnalyzeAgainst(rep, base, isa.INT).StaticSavings())
+			if !kernels.IntegerOnly(b) {
+				a.fpSav = append(a.fpSav, model.AnalyzeAgainst(rep, base, isa.FP).StaticSavings())
+			}
+			a.perf = append(a.perf, float64(base.Cycles)/float64(rep.Cycles))
+		}
+	}
+	fmt.Printf("elapsed %v (sms=%d scale=%.2f)\n", time.Since(t0).Round(time.Second), *sms, *scale)
+	fmt.Printf("%-14s %8s %8s %8s   (paper: ConvPG .201/.314/.99, Naive .278/.411/.95, Coord .315/.456/.98, WG .316/.465/.99)\n",
+		"technique", "intSav", "fpSav", "perf")
+	for _, t := range techs {
+		a := sums[t]
+		fmt.Printf("%-14s %8.3f %8.3f %8.3f\n", t, mean(a.intSav), mean(a.fpSav), geomean(a.perf))
+	}
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			v = 1e-12
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

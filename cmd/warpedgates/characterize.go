@@ -1,0 +1,47 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/core"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/stats"
+)
+
+// cmdCharacterize prints the workload characterization of the benchmark
+// suite in one table: dynamic instruction mix (paper Fig. 5a), active-warp
+// occupancy (Fig. 5b), cache behaviour and baseline idle fractions — the
+// inputs a reader needs to judge how closely the synthetic suite matches the
+// paper's workloads.
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	sms := fs.Int("sms", 15, "number of SMs")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := config.GTX480()
+	cfg.NumSMs = *sms
+	r := core.NewRunner(cfg)
+	r.Scale = *scale
+
+	t := stats.NewTable("Benchmark suite characterization (baseline two-level, no gating)",
+		"benchmark", "cycles", "INT", "FP", "SFU", "LDST",
+		"warps avg", "warps max", "L1 miss", "INT idle", "FP idle")
+	for _, b := range kernels.BenchmarkNames {
+		rep, err := r.Run(b, core.Baseline)
+		if err != nil {
+			return err
+		}
+		mix := rep.InstructionMix()
+		t.AddRowf(b, rep.Cycles,
+			mix[isa.INT], mix[isa.FP], mix[isa.SFU], mix[isa.LDST],
+			rep.ActiveWarpAvg, rep.ActiveWarpMax, rep.L1MissRate,
+			rep.Domains[isa.INT].IdleFraction(), rep.Domains[isa.FP].IdleFraction())
+	}
+	fmt.Println(t)
+	return nil
+}

@@ -1,0 +1,300 @@
+// Command warpedgates runs the Warped Gates reproduction: single benchmark
+// simulations and full figure regeneration.
+//
+// Usage:
+//
+//	warpedgates list
+//	    List benchmarks, techniques and figures.
+//
+//	warpedgates run -bench hotspot -tech WarpedGates [-sms 15] [-scale 1.0]
+//	    Simulate one benchmark under one technique and print the report.
+//
+//	warpedgates figure -id fig9a [-scale 1.0] [-sms 15] [-csv DIR]
+//	    Regenerate one paper figure (fig1b fig3 fig4 fig5a fig5b fig6 fig8a
+//	    fig8b fig8c fig9a fig9b fig10 fig11a fig11b hw), one of the ablation
+//	    studies (ablation-clusters ablation-maxhold ablation-idledetect
+//	    ablation-scheduler ablation-aux), or "all".
+//
+//	warpedgates trace -bench hotspot -tech WarpedGates
+//	    Render per-cycle ASCII waveforms of every gating domain.
+//
+//	warpedgates characterize
+//	    Print the benchmark suite's workload characterization.
+//
+//	warpedgates compare
+//	    Print paper-vs-measured tables for the headline results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/core"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/power"
+	"warpedgates/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "figure":
+		err = cmdFigure(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "characterize":
+		err = cmdCharacterize(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "warpedgates: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warpedgates: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  warpedgates list
+  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F]
+  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-csv DIR] [-v]
+  warpedgates trace -bench <name> -tech <technique> [-from C] [-cycles N]
+  warpedgates characterize [-sms N] [-scale F]
+  warpedgates compare [-sms N] [-scale F]`)
+}
+
+func cmdList() error {
+	fmt.Println("benchmarks:")
+	for _, b := range kernels.BenchmarkNames {
+		k := kernels.MustBenchmark(b)
+		mix := k.Mix()
+		fmt.Printf("  %-10s body=%3d iters=%2d warps/CTA=%d CTAs/SM=%d mix=[INT %.2f FP %.2f SFU %.2f LDST %.2f]\n",
+			b, len(k.Body), k.Iterations, k.WarpsPerCTA, k.CTAsPerSM,
+			mix[isa.INT], mix[isa.FP], mix[isa.SFU], mix[isa.LDST])
+	}
+	fmt.Println("techniques:")
+	for _, t := range core.AllTechniques() {
+		fmt.Printf("  %s\n", t)
+	}
+	fmt.Println("figures: fig1b fig3 fig4 fig5a fig5b fig6 fig8a fig8b fig8c fig9a fig9b fig10",
+		"fig11a fig11b hw ablation-clusters ablation-maxhold ablation-idledetect",
+		"ablation-scheduler ablation-aux all")
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	bench := fs.String("bench", "hotspot", "benchmark name")
+	tech := fs.String("tech", "WarpedGates", "technique name")
+	sms := fs.Int("sms", 15, "number of SMs")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := core.ParseTechnique(*tech)
+	if err != nil {
+		return err
+	}
+	cfg := config.GTX480()
+	cfg.NumSMs = *sms
+	r := core.NewRunner(cfg)
+	r.Scale = *scale
+
+	rep, err := r.Run(*bench, t)
+	if err != nil {
+		return err
+	}
+	model := power.Default(cfg.BreakEven)
+	fmt.Println(rep)
+	fmt.Printf("cycles: %d (hit MaxCycles: %v)\n", rep.Cycles, rep.RanOut)
+	fmt.Printf("active warps: avg %.1f max %d\n", rep.ActiveWarpAvg, rep.ActiveWarpMax)
+	fmt.Printf("L1 miss rate: %.3f\n", rep.L1MissRate)
+	for _, c := range []isa.Class{isa.INT, isa.FP, isa.SFU, isa.LDST} {
+		d := rep.Domains[c]
+		bd := model.Analyze(rep, c)
+		fmt.Printf("%-4s idle=%.3f comp=%.3f uncomp=%.3f gatings=%d wakeups=%d critical=%d staticSavings=%.3f\n",
+			c, d.IdleFraction(), d.CompensatedFraction(), d.UncompensatedFraction(),
+			d.GatingEvents, d.Wakeups, d.CriticalWakeups, bd.StaticSavings())
+	}
+	return nil
+}
+
+func cmdFigure(args []string) error {
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	id := fs.String("id", "all", "figure id or 'all'")
+	sms := fs.Int("sms", 15, "number of SMs")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	verbose := fs.Bool("v", false, "print progress")
+	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	cfg := config.GTX480()
+	cfg.NumSMs = *sms
+	r := core.NewRunner(cfg)
+	r.Scale = *scale
+	if *verbose {
+		r.Progress = func(b string, c config.Config) {
+			fmt.Fprintf(os.Stderr, "  simulating %s under %s/%s (idle=%d bet=%d wake=%d adaptive=%v)\n",
+				b, c.Scheduler, c.Gating, c.IdleDetect, c.BreakEven, c.WakeupDelay, c.AdaptiveIdleDetect)
+		}
+	}
+
+	want := strings.ToLower(*id)
+	ran := false
+	show := func(figID string, gen func() (*stats.Table, error)) error {
+		if want != "all" && want != figID {
+			return nil
+		}
+		ran = true
+		out, err := gen()
+		if err != nil {
+			return fmt.Errorf("%s: %w", figID, err)
+		}
+		fmt.Println(out)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, figID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := out.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	}
+
+	figures := []struct {
+		id  string
+		gen func() (*stats.Table, error)
+	}{
+		{"fig1b", func() (*stats.Table, error) {
+			f, err := core.RunFig1b(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig3", func() (*stats.Table, error) {
+			f, err := core.RunFig3(r, "hotspot")
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig4", func() (*stats.Table, error) {
+			f, err := core.RunFig4()
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig5a", func() (*stats.Table, error) {
+			f, err := core.RunFig5a(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig5b", func() (*stats.Table, error) {
+			f, err := core.RunFig5b(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig6", func() (*stats.Table, error) {
+			f, err := core.RunFig6(r, 0, 10)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig8a", func() (*stats.Table, error) {
+			f, err := core.RunFig8(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.TableA })
+		}},
+		{"fig8b", func() (*stats.Table, error) {
+			f, err := core.RunFig8(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.TableB })
+		}},
+		{"fig8c", func() (*stats.Table, error) {
+			f, err := core.RunFig8(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.TableC })
+		}},
+		{"fig9a", func() (*stats.Table, error) {
+			f, err := core.RunFig9(r, isa.INT)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig9b", func() (*stats.Table, error) {
+			f, err := core.RunFig9(r, isa.FP)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig10", func() (*stats.Table, error) {
+			f, err := core.RunFig10(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig11a", func() (*stats.Table, error) {
+			f, err := core.RunFig11BET(r, []int{9, 14, 19})
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"fig11b", func() (*stats.Table, error) {
+			f, err := core.RunFig11Wakeup(r, []int{3, 6, 9})
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"hw", func() (*stats.Table, error) {
+			f := core.RunHWOverhead(cfg.NumSPClusters)
+			return f.Table, nil
+		}},
+		{"ablation-clusters", func() (*stats.Table, error) {
+			f, err := core.RunAblationClusters(r, []int{2, 4, 6})
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"ablation-maxhold", func() (*stats.Table, error) {
+			f, err := core.RunAblationMaxHold(r, []int{0, 16, 64, 256})
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"ablation-idledetect", func() (*stats.Table, error) {
+			f, err := core.RunAblationIdleDetect(r, []int{2, 5, 10, 20})
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"ablation-scheduler", func() (*stats.Table, error) {
+			f, err := core.RunAblationScheduler(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+		{"ablation-aux", func() (*stats.Table, error) {
+			f, err := core.RunAblationAuxBlackout(r)
+			return tbl(f != nil, err, func() *stats.Table { return f.Table })
+		}},
+	}
+	for _, f := range figures {
+		if err := show(f.id, f.gen); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure id %q", *id)
+	}
+	return nil
+}
+
+// tbl adapts a (result, error) pair to the (Stringer, error) the dispatcher
+// wants, without dereferencing a nil result on error.
+func tbl(ok bool, err error, get func() *stats.Table) (*stats.Table, error) {
+	if err != nil || !ok {
+		return nil, err
+	}
+	return get(), nil
+}

@@ -1,0 +1,55 @@
+// Quickstart: simulate one GPGPU benchmark under the paper's full proposal
+// (Warped Gates = GATES scheduling + Coordinated Blackout + Adaptive idle
+// detect) and print where the static energy went.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/core"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/power"
+)
+
+func main() {
+	// The paper's machine: a GTX480-like GPGPU with 15 SMs, two SP clusters
+	// per SM, idle-detect 5, break-even time 14, wakeup delay 3. Shrink it
+	// to 4 SMs so the example finishes in a couple of seconds.
+	cfg := config.GTX480()
+	cfg.NumSMs = 4
+
+	runner := core.NewRunner(cfg)
+	runner.Scale = 0.5 // half-size workload for a fast first run
+
+	const bench = "hotspot"
+	baseline, err := runner.Run(bench, core.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warped, err := runner.Run(bench, core.WarpedGates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s on %d SMs\n", bench, cfg.NumSMs)
+	fmt.Printf("  baseline:    %d cycles, %.1f active warps on average\n",
+		baseline.Cycles, baseline.ActiveWarpAvg)
+	fmt.Printf("  warped gates: %d cycles (%.1f%% slowdown)\n",
+		warped.Cycles, 100*(float64(warped.Cycles)/float64(baseline.Cycles)-1))
+
+	model := power.Default(cfg.BreakEven)
+	for _, class := range []isa.Class{isa.INT, isa.FP} {
+		bd := model.AnalyzeAgainst(warped, baseline, class)
+		d := warped.Domains[class]
+		fmt.Printf("  %-3s units: %.1f%% static energy saved "+
+			"(%d gating events, %d wakeups, %.1f%% of cycles gated)\n",
+			class, 100*bd.StaticSavings(), d.GatingEvents, d.Wakeups,
+			100*float64(d.GatedCycles)/float64(d.CellCycles()))
+	}
+}

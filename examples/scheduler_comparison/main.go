@@ -1,0 +1,74 @@
+// Scheduler comparison: reproduce the paper's Figure 4 walkthrough, showing
+// how the baseline two-level warp scheduler intersperses INT and FP
+// instructions (leaving short, ungateable pipeline bubbles) while GATES
+// clusters them by type (coalescing the bubbles into long idle runs).
+//
+// Run with:
+//
+//	go run ./examples/scheduler_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"warpedgates/internal/core"
+	"warpedgates/internal/isa"
+)
+
+func main() {
+	res, err := core.RunFig4()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Paper Figure 4 — one scheduler, one SP cluster, ALU latency 4, ii 1.")
+	fmt.Println("Active warp set: INT INT FP INT FP INT INT INT INT FP FP INT")
+	fmt.Println()
+	for _, s := range []core.Fig4Schedule{res.TwoLevel, res.GATES} {
+		fmt.Printf("%s schedule:\n", s.Scheduler)
+		fmt.Printf("  issue order: %s\n", renderIssues(s.Issues))
+		fmt.Printf("  INT pipe timeline: %s\n", renderTimeline(s, isa.INT))
+		fmt.Printf("  FP  pipe timeline: %s\n", renderTimeline(s, isa.FP))
+		fmt.Printf("  INT idle runs: %v    FP idle runs: %v\n\n",
+			s.IdlePeriodsINT, s.IdlePeriodsFP)
+	}
+	fmt.Println("GATES turns the FP pipe's scattered bubbles into one long idle run,")
+	fmt.Println("long enough for power gating to pass break-even (paper Fig. 4).")
+}
+
+func renderIssues(issues []core.Fig4Issue) string {
+	parts := make([]string, len(issues))
+	for i, is := range issues {
+		parts[i] = fmt.Sprintf("c%d:%s", is.Cycle, is.Class)
+	}
+	return strings.Join(parts, " ")
+}
+
+// renderTimeline draws B for cycles with an instruction in the pipe and
+// . for idle cycles, over the schedule's span (latency 4 per instruction).
+func renderTimeline(s core.Fig4Schedule, class isa.Class) string {
+	span := int(s.Span)
+	if span > 40 {
+		span = 40
+	}
+	busy := make([]bool, span)
+	for _, is := range s.Issues {
+		if is.Class != class {
+			continue
+		}
+		for c := int(is.Cycle); c < int(is.Cycle)+4 && c < span; c++ {
+			busy[c] = true
+		}
+	}
+	var b strings.Builder
+	for _, v := range busy {
+		if v {
+			b.WriteByte('B')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}

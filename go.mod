@@ -1,0 +1,3 @@
+module warpedgates
+
+go 1.22

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/power"
+	"warpedgates/internal/stats"
+)
+
+// AblationPoint is one configuration of an ablation sweep: suite-average INT
+// and FP static savings plus geomean performance for a technique variant.
+type AblationPoint struct {
+	Label      string
+	IntSavings float64
+	FpSavings  float64
+	Perf       float64
+}
+
+// AblationResult carries one ablation study.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+	Table  *stats.Table
+}
+
+// RunAblationClusters studies the SP-cluster trend the paper's §5 points at:
+// Fermi has two INT/FP clusters per SM, Kepler six, AMD GCN four. More
+// clusters give Coordinated Blackout more sleeping peers per unit of work,
+// so per-cluster savings grow with the cluster count.
+func RunAblationClusters(r *Runner, clusterCounts []int) (*AblationResult, error) {
+	if len(clusterCounts) == 0 {
+		return nil, fmt.Errorf("core: cluster ablation needs at least one count")
+	}
+	res := &AblationResult{Name: "Ablation — SP clusters per SM (Fermi 2, GCN 4, Kepler 6)"}
+	model := power.Default(r.Base.BreakEven)
+	for _, n := range clusterCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("core: invalid cluster count %d", n)
+		}
+		baseCfg := Baseline.Apply(r.Base)
+		baseCfg.NumSPClusters = n
+		cfg := WarpedGates.Apply(r.Base)
+		cfg.NumSPClusters = n
+
+		var intSum, fpSum float64
+		var nInt, nFp float64
+		var perfs []float64
+		for _, b := range kernels.BenchmarkNames {
+			base, err := r.RunCfg(b, baseCfg)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := r.RunCfg(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			intSum += model.AnalyzeAgainst(rep, base, isa.INT).StaticSavings()
+			nInt++
+			if !kernels.IntegerOnly(b) {
+				fpSum += model.AnalyzeAgainst(rep, base, isa.FP).StaticSavings()
+				nFp++
+			}
+			perfs = append(perfs, stats.Ratio(float64(base.Cycles), float64(rep.Cycles)))
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:      fmt.Sprintf("%d clusters", n),
+			IntSavings: intSum / nInt,
+			FpSavings:  fpSum / nFp,
+			Perf:       stats.Geomean(perfs),
+		})
+	}
+	tab := stats.NewTable(res.Name, "variant", "Int savings", "Fp savings", "perf")
+	for _, p := range res.Points {
+		tab.AddRowf(p.Label, p.IntSavings, p.FpSavings, p.Perf)
+	}
+	res.Table = tab
+	return res, nil
+}
+
+// RunAblationMaxHold studies the GATES forced-priority-switch threshold the
+// paper's §4 offers against starvation: 0 disables it (the paper default);
+// small values force frequent switches, eroding the type clustering GATES
+// exists to create.
+func RunAblationMaxHold(r *Runner, holds []int) (*AblationResult, error) {
+	if len(holds) == 0 {
+		return nil, fmt.Errorf("core: max-hold ablation needs at least one value")
+	}
+	res := &AblationResult{Name: "Ablation — GATES forced priority switch threshold"}
+	model := power.Default(r.Base.BreakEven)
+	for _, h := range holds {
+		if h < 0 {
+			return nil, fmt.Errorf("core: invalid max hold %d", h)
+		}
+		cfg := WarpedGates.Apply(r.Base)
+		cfg.GATESMaxHold = h
+		var intSum, fpSum float64
+		var nInt, nFp float64
+		var perfs []float64
+		for _, b := range kernels.BenchmarkNames {
+			base, err := r.Run(b, Baseline)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := r.RunCfg(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			intSum += model.AnalyzeAgainst(rep, base, isa.INT).StaticSavings()
+			nInt++
+			if !kernels.IntegerOnly(b) {
+				fpSum += model.AnalyzeAgainst(rep, base, isa.FP).StaticSavings()
+				nFp++
+			}
+			perfs = append(perfs, stats.Ratio(float64(base.Cycles), float64(rep.Cycles)))
+		}
+		label := fmt.Sprintf("hold<=%d", h)
+		if h == 0 {
+			label = "unbounded (paper)"
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:      label,
+			IntSavings: intSum / nInt,
+			FpSavings:  fpSum / nFp,
+			Perf:       stats.Geomean(perfs),
+		})
+	}
+	tab := stats.NewTable(res.Name, "variant", "Int savings", "Fp savings", "perf")
+	for _, p := range res.Points {
+		tab.AddRowf(p.Label, p.IntSavings, p.FpSavings, p.Perf)
+	}
+	res.Table = tab
+	return res, nil
+}
+
+// RunAblationAuxBlackout studies extending Blackout to the SFU and LD/ST
+// units, which the paper leaves under conventional gating (§3 argues SFUs
+// are only 2.5% of execution-unit leakage). It reports suite-average static
+// savings for the auxiliary units with and without the extension.
+func RunAblationAuxBlackout(r *Runner) (*AblationResult, error) {
+	res := &AblationResult{Name: "Ablation — Blackout on SFU/LDST units"}
+	model := power.Default(r.Base.BreakEven)
+	for _, aux := range []bool{false, true} {
+		cfg := WarpedGates.Apply(r.Base)
+		cfg.BlackoutAux = aux
+		var sfuSum, ldstSum float64
+		var n float64
+		var perfs []float64
+		for _, b := range kernels.BenchmarkNames {
+			base, err := r.Run(b, Baseline)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := r.RunCfg(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sfuSum += model.AnalyzeAgainst(rep, base, isa.SFU).StaticSavings()
+			ldstSum += model.AnalyzeAgainst(rep, base, isa.LDST).StaticSavings()
+			n++
+			perfs = append(perfs, stats.Ratio(float64(base.Cycles), float64(rep.Cycles)))
+		}
+		label := "conventional aux (paper)"
+		if aux {
+			label = "blackout aux (extension)"
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:      label,
+			IntSavings: sfuSum / n,  // SFU savings in the Int column
+			FpSavings:  ldstSum / n, // LDST savings in the Fp column
+			Perf:       stats.Geomean(perfs),
+		})
+	}
+	tab := stats.NewTable(res.Name, "variant", "SFU savings", "LDST savings", "perf")
+	for _, p := range res.Points {
+		tab.AddRowf(p.Label, p.IntSavings, p.FpSavings, p.Perf)
+	}
+	res.Table = tab
+	return res, nil
+}
+
+// RunAblationScheduler compares warp schedulers under conventional gating:
+// loose round-robin (the pre-two-level design), the two-level scheduler
+// (paper baseline) and GATES, quantifying how much gating opportunity each
+// scheduler exposes. Note that LRR and TwoLevel coincide exactly in this
+// simulator: both rotate over ready candidates, and the two-level split's
+// real-hardware benefit (a small active-warp SRAM instead of a full-size
+// scheduler structure) is an energy effect outside the execution-unit scope
+// of this model — the pair serves as a built-in sanity check that policy
+// plumbing does not perturb results.
+func RunAblationScheduler(r *Runner) (*AblationResult, error) {
+	res := &AblationResult{Name: "Ablation — scheduler under conventional gating"}
+	model := power.Default(r.Base.BreakEven)
+	for _, kind := range []config.SchedulerKind{config.SchedLRR, config.SchedTwoLevel, config.SchedGATES} {
+		cfg := ConvPG.Apply(r.Base)
+		cfg.Scheduler = kind
+		var intSum, fpSum, idleSum float64
+		var nInt, nFp float64
+		var perfs []float64
+		for _, b := range kernels.BenchmarkNames {
+			base, err := r.Run(b, Baseline)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := r.RunCfg(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			intSum += model.AnalyzeAgainst(rep, base, isa.INT).StaticSavings()
+			idleSum += rep.Domains[isa.INT].IdleFraction()
+			nInt++
+			if !kernels.IntegerOnly(b) {
+				fpSum += model.AnalyzeAgainst(rep, base, isa.FP).StaticSavings()
+				nFp++
+			}
+			perfs = append(perfs, stats.Ratio(float64(base.Cycles), float64(rep.Cycles)))
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:      kind.String(),
+			IntSavings: intSum / nInt,
+			FpSavings:  fpSum / nFp,
+			Perf:       stats.Geomean(perfs),
+		})
+	}
+	tab := stats.NewTable(res.Name, "variant", "Int savings", "Fp savings", "perf")
+	for _, p := range res.Points {
+		tab.AddRowf(p.Label, p.IntSavings, p.FpSavings, p.Perf)
+	}
+	res.Table = tab
+	return res, nil
+}
+
+// RunAblationIdleDetect studies the static idle-detect window for
+// conventional gating (the naive mitigation §4 dismisses: growing the window
+// avoids uncompensated windows but wastes gateable idle cycles).
+func RunAblationIdleDetect(r *Runner, windows []int) (*AblationResult, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("core: idle-detect ablation needs at least one value")
+	}
+	res := &AblationResult{Name: "Ablation — static idle-detect window under ConvPG"}
+	model := power.Default(r.Base.BreakEven)
+	for _, w := range windows {
+		if w < 0 {
+			return nil, fmt.Errorf("core: invalid idle-detect %d", w)
+		}
+		cfg := ConvPG.Apply(r.Base)
+		cfg.IdleDetect = w
+		var intSum, fpSum float64
+		var nInt, nFp float64
+		var perfs []float64
+		for _, b := range kernels.BenchmarkNames {
+			base, err := r.Run(b, Baseline)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := r.RunCfg(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			intSum += model.AnalyzeAgainst(rep, base, isa.INT).StaticSavings()
+			nInt++
+			if !kernels.IntegerOnly(b) {
+				fpSum += model.AnalyzeAgainst(rep, base, isa.FP).StaticSavings()
+				nFp++
+			}
+			perfs = append(perfs, stats.Ratio(float64(base.Cycles), float64(rep.Cycles)))
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:      fmt.Sprintf("idle-detect %d", w),
+			IntSavings: intSum / nInt,
+			FpSavings:  fpSum / nFp,
+			Perf:       stats.Geomean(perfs),
+		})
+	}
+	tab := stats.NewTable(res.Name, "variant", "Int savings", "Fp savings", "perf")
+	for _, p := range res.Points {
+		tab.AddRowf(p.Label, p.IntSavings, p.FpSavings, p.Perf)
+	}
+	res.Table = tab
+	return res, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/stats"
+)
+
+// Fig10Row is one benchmark's normalized performance per technique
+// (paper Figure 10; 1.0 = no slowdown relative to the no-gating baseline).
+type Fig10Row struct {
+	Benchmark   string
+	Performance map[Technique]float64
+}
+
+// Fig10Result carries the performance comparison with per-technique geomeans.
+type Fig10Result struct {
+	Rows    []Fig10Row
+	Geomean map[Technique]float64
+	Table   *stats.Table
+}
+
+// RunFig10 regenerates paper Figure 10: the performance impact of each
+// gating technique, normalized to the no-gating two-level baseline.
+func RunFig10(r *Runner) (*Fig10Result, error) {
+	res := &Fig10Result{Geomean: map[Technique]float64{}}
+	series := map[Technique][]float64{}
+	for _, b := range kernels.BenchmarkNames {
+		row := Fig10Row{Benchmark: b, Performance: map[Technique]float64{}}
+		for _, tech := range GatedTechniques() {
+			p, err := r.Performance(b, tech)
+			if err != nil {
+				return nil, err
+			}
+			row.Performance[tech] = p
+			series[tech] = append(series[tech], p)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, tech := range GatedTechniques() {
+		res.Geomean[tech] = stats.Geomean(series[tech])
+	}
+
+	header := []string{"benchmark"}
+	for _, t := range GatedTechniques() {
+		header = append(header, t.String())
+	}
+	tab := stats.NewTable("Fig. 10 — normalized performance (1.0 = baseline)", header...)
+	for _, row := range res.Rows {
+		cells := []interface{}{row.Benchmark}
+		for _, t := range GatedTechniques() {
+			cells = append(cells, row.Performance[t])
+		}
+		tab.AddRowf(cells...)
+	}
+	cells := []interface{}{"geomean"}
+	for _, t := range GatedTechniques() {
+		cells = append(cells, res.Geomean[t])
+	}
+	tab.AddRowf(cells...)
+	res.Table = tab
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/power"
+	"warpedgates/internal/stats"
+)
+
+// Fig11Point is one sweep point of the sensitivity study (paper Figure 11):
+// the suite-average INT and FP static savings and the geomean performance of
+// one technique at one parameter value.
+type Fig11Point struct {
+	Technique  Technique
+	ParamValue int
+	IntSavings float64
+	FpSavings  float64
+	Perf       float64
+}
+
+// Fig11Result carries one panel of the sensitivity study.
+type Fig11Result struct {
+	Param  string // "BET" or "wakeup"
+	Points []Fig11Point
+	Table  *stats.Table
+}
+
+// RunFig11BET regenerates paper Figure 11a: sensitivity to the break-even
+// time (paper values 9, 14, 19) for conventional power gating and Warped
+// Gates.
+func RunFig11BET(r *Runner, values []int) (*Fig11Result, error) {
+	return runFig11(r, "BET", values, func(cfg *configMut, v int) { cfg.BreakEven = v })
+}
+
+// RunFig11Wakeup regenerates paper Figure 11b: sensitivity to the wakeup
+// delay (paper values 3, 6, 9).
+func RunFig11Wakeup(r *Runner, values []int) (*Fig11Result, error) {
+	return runFig11(r, "wakeup", values, func(cfg *configMut, v int) { cfg.WakeupDelay = v })
+}
+
+// configMut is the subset of configuration fields the sweeps mutate.
+type configMut = struct {
+	BreakEven   int
+	WakeupDelay int
+}
+
+// runFig11 runs one sensitivity sweep.
+func runFig11(r *Runner, param string, values []int, set func(*configMut, int)) (*Fig11Result, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("core: Fig. 11 sweep needs at least one value")
+	}
+	res := &Fig11Result{Param: param}
+	for _, tech := range []Technique{ConvPG, WarpedGates} {
+		for _, v := range values {
+			cfg := tech.Apply(r.Base)
+			mut := configMut{BreakEven: cfg.BreakEven, WakeupDelay: cfg.WakeupDelay}
+			set(&mut, v)
+			cfg.BreakEven = mut.BreakEven
+			cfg.WakeupDelay = mut.WakeupDelay
+			model := power.Default(cfg.BreakEven)
+
+			var intSum, fpSum float64
+			var nInt, nFp float64
+			var perfs []float64
+			for _, b := range kernels.BenchmarkNames {
+				rep, err := r.RunCfg(b, cfg)
+				if err != nil {
+					return nil, err
+				}
+				base, err := r.Run(b, Baseline)
+				if err != nil {
+					return nil, err
+				}
+				intSum += model.AnalyzeAgainst(rep, base, isa.INT).StaticSavings()
+				nInt++
+				if !kernels.IntegerOnly(b) {
+					fpSum += model.AnalyzeAgainst(rep, base, isa.FP).StaticSavings()
+					nFp++
+				}
+				perfs = append(perfs, stats.Ratio(float64(base.Cycles), float64(rep.Cycles)))
+			}
+			res.Points = append(res.Points, Fig11Point{
+				Technique:  tech,
+				ParamValue: v,
+				IntSavings: intSum / nInt,
+				FpSavings:  fpSum / nFp,
+				Perf:       stats.Geomean(perfs),
+			})
+		}
+	}
+
+	tab := stats.NewTable(fmt.Sprintf("Fig. 11 — sensitivity to %s", param),
+		"technique", param, "Int savings", "Fp savings", "perf")
+	for _, p := range res.Points {
+		tab.AddRowf(p.Technique.String(), p.ParamValue, p.IntSavings, p.FpSavings, p.Perf)
+	}
+	res.Table = tab
+	return res, nil
+}

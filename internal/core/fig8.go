@@ -1,0 +1,154 @@
+package core
+
+import (
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/stats"
+)
+
+// Fig8Row is one benchmark's power-gating-opportunity metrics for the
+// integer units (paper Figure 8; FP exhibits the same trends per the paper).
+type Fig8Row struct {
+	Benchmark string
+	// IdleFrac maps technique -> fraction of idle cycles normalized to the
+	// two-level baseline's fraction (Fig. 8a; >1 means more idle extracted).
+	IdleFrac map[Technique]float64
+	// CompMinusUncomp maps technique -> (compensated − uncompensated)
+	// cycles as a fraction of all cycles (Fig. 8b; negative bars mean more
+	// time uncompensated than compensated).
+	CompMinusUncomp map[Technique]float64
+	// WakeupsNorm maps technique -> wakeups normalized to ConvPG (Fig. 8c;
+	// wakeup count is the direct proxy for gating overhead).
+	WakeupsNorm map[Technique]float64
+}
+
+// Fig8Result carries the three panels of paper Figure 8 plus geomeans.
+type Fig8Result struct {
+	Rows []Fig8Row
+	// Geomean* aggregate each panel the way the paper reports it.
+	GeomeanIdle    map[Technique]float64
+	GeomeanComp    map[Technique]float64
+	GeomeanWakeups map[Technique]float64
+
+	TableA *stats.Table
+	TableB *stats.Table
+	TableC *stats.Table
+}
+
+// fig8aTechs/fig8bTechs/fig8cTechs are the technique series of each panel,
+// exactly as the paper's legends list them.
+var (
+	fig8aTechs = []Technique{GATESTech, CoordBlackout, WarpedGates}
+	fig8bTechs = []Technique{ConvPG, GATESTech, WarpedGates}
+	fig8cTechs = []Technique{GATESTech, CoordBlackout, WarpedGates}
+)
+
+// RunFig8 regenerates paper Figures 8a (normalized fraction of idle cycles),
+// 8b (cycles in compensated state) and 8c (normalized wakeups) for the
+// integer units.
+func RunFig8(r *Runner) (*Fig8Result, error) {
+	res := &Fig8Result{
+		GeomeanIdle:    map[Technique]float64{},
+		GeomeanComp:    map[Technique]float64{},
+		GeomeanWakeups: map[Technique]float64{},
+	}
+	series := map[Technique][]float64{}
+	compSeries := map[Technique][]float64{}
+	wakeSeries := map[Technique][]float64{}
+
+	for _, b := range kernels.BenchmarkNames {
+		base, err := r.Run(b, Baseline)
+		if err != nil {
+			return nil, err
+		}
+		conv, err := r.Run(b, ConvPG)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{
+			Benchmark:       b,
+			IdleFrac:        map[Technique]float64{},
+			CompMinusUncomp: map[Technique]float64{},
+			WakeupsNorm:     map[Technique]float64{},
+		}
+		baseIdle := base.Domains[isa.INT].IdleFraction()
+		convWakeups := float64(conv.Domains[isa.INT].Wakeups)
+
+		for _, tech := range fig8aTechs {
+			rep, err := r.Run(b, tech)
+			if err != nil {
+				return nil, err
+			}
+			v := stats.Ratio(rep.Domains[isa.INT].IdleFraction(), baseIdle)
+			row.IdleFrac[tech] = v
+			series[tech] = append(series[tech], v)
+		}
+		for _, tech := range fig8bTechs {
+			rep, err := r.Run(b, tech)
+			if err != nil {
+				return nil, err
+			}
+			d := rep.Domains[isa.INT]
+			v := d.CompensatedFraction() - d.UncompensatedFraction()
+			row.CompMinusUncomp[tech] = v
+			compSeries[tech] = append(compSeries[tech], v)
+		}
+		for _, tech := range fig8cTechs {
+			rep, err := r.Run(b, tech)
+			if err != nil {
+				return nil, err
+			}
+			v := stats.Ratio(float64(rep.Domains[isa.INT].Wakeups), convWakeups)
+			row.WakeupsNorm[tech] = v
+			wakeSeries[tech] = append(wakeSeries[tech], v)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	for _, tech := range fig8aTechs {
+		res.GeomeanIdle[tech] = stats.Geomean(series[tech])
+	}
+	for _, tech := range fig8bTechs {
+		// Fig. 8b values can be negative; the paper quotes the mean share of
+		// compensated cycles, so use the arithmetic mean here.
+		res.GeomeanComp[tech] = stats.Mean(compSeries[tech])
+	}
+	for _, tech := range fig8cTechs {
+		res.GeomeanWakeups[tech] = stats.Geomean(wakeSeries[tech])
+	}
+
+	res.TableA = fig8Table("Fig. 8a — normalized fraction of INT idle cycles",
+		fig8aTechs, res.Rows, func(row Fig8Row, t Technique) float64 { return row.IdleFrac[t] },
+		res.GeomeanIdle, "geomean")
+	res.TableB = fig8Table("Fig. 8b — compensated minus uncompensated cycles (fraction)",
+		fig8bTechs, res.Rows, func(row Fig8Row, t Technique) float64 { return row.CompMinusUncomp[t] },
+		res.GeomeanComp, "mean")
+	res.TableC = fig8Table("Fig. 8c — wakeups normalized to ConvPG",
+		fig8cTechs, res.Rows, func(row Fig8Row, t Technique) float64 { return row.WakeupsNorm[t] },
+		res.GeomeanWakeups, "geomean")
+	return res, nil
+}
+
+// fig8Table renders one Figure 8 panel.
+func fig8Table(title string, techs []Technique, rows []Fig8Row,
+	get func(Fig8Row, Technique) float64, agg map[Technique]float64, aggName string) *stats.Table {
+
+	header := []string{"benchmark"}
+	for _, t := range techs {
+		header = append(header, t.String())
+	}
+	tab := stats.NewTable(title, header...)
+	for _, row := range rows {
+		cells := []interface{}{row.Benchmark}
+		for _, t := range techs {
+			cells = append(cells, get(row, t))
+		}
+		tab.AddRowf(cells...)
+	}
+	cells := []interface{}{aggName}
+	for _, t := range techs {
+		cells = append(cells, agg[t])
+	}
+	tab.AddRowf(cells...)
+	return tab
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/power"
+	"warpedgates/internal/stats"
+)
+
+// Fig9Row is one benchmark's static-energy savings per technique for one
+// unit class (paper Figure 9).
+type Fig9Row struct {
+	Benchmark string
+	Savings   map[Technique]float64
+}
+
+// Fig9Result carries one panel of paper Figure 9 (9a = INT, 9b = FP), with
+// the suite average as the paper reports it.
+type Fig9Result struct {
+	Class   isa.Class
+	Rows    []Fig9Row
+	Average map[Technique]float64
+	Table   *stats.Table
+}
+
+// RunFig9 regenerates paper Figure 9 for one unit class: net static energy
+// savings (normalized to a no-gating baseline, overhead included) for all
+// five techniques. For the FP panel, integer-only benchmarks are excluded,
+// matching the paper.
+func RunFig9(r *Runner, class isa.Class) (*Fig9Result, error) {
+	if class != isa.INT && class != isa.FP {
+		return nil, fmt.Errorf("core: Fig. 9 covers INT and FP only, got %s", class)
+	}
+	model := power.Default(r.Base.BreakEven)
+	res := &Fig9Result{Class: class, Average: map[Technique]float64{}}
+	sums := map[Technique]float64{}
+	var n float64
+
+	for _, b := range kernels.BenchmarkNames {
+		if class == isa.FP && kernels.IntegerOnly(b) {
+			continue
+		}
+		base, err := r.Run(b, Baseline)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{Benchmark: b, Savings: map[Technique]float64{}}
+		for _, tech := range GatedTechniques() {
+			rep, err := r.Run(b, tech)
+			if err != nil {
+				return nil, err
+			}
+			s := model.AnalyzeAgainst(rep, base, class).StaticSavings()
+			row.Savings[tech] = s
+			sums[tech] += s
+		}
+		res.Rows = append(res.Rows, row)
+		n++
+	}
+	for _, tech := range GatedTechniques() {
+		if n > 0 {
+			res.Average[tech] = sums[tech] / n
+		}
+	}
+
+	header := []string{"benchmark"}
+	for _, t := range GatedTechniques() {
+		header = append(header, t.String())
+	}
+	panel := "9a"
+	if class == isa.FP {
+		panel = "9b"
+	}
+	tab := stats.NewTable(fmt.Sprintf("Fig. %s — %s static energy savings", panel, class), header...)
+	for _, row := range res.Rows {
+		cells := []interface{}{row.Benchmark}
+		for _, t := range GatedTechniques() {
+			cells = append(cells, row.Savings[t])
+		}
+		tab.AddRowf(cells...)
+	}
+	cells := []interface{}{"average"}
+	for _, t := range GatedTechniques() {
+		cells = append(cells, res.Average[t])
+	}
+	tab.AddRowf(cells...)
+	res.Table = tab
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"warpedgates/internal/config"
+)
+
+// TestGoldenCycleCounts locks the simulator's bit-reproducibility across
+// refactors: exact cycle and instruction counts for representative
+// benchmarks at a fixed small configuration. These values are not
+// paper-meaningful; they are a determinism fingerprint. If an intentional
+// model change moves them, regenerate with the commands in the comment and
+// update — an *unintentional* change means the simulator stopped being
+// deterministic or a refactor altered timing semantics.
+//
+// Regenerate with:
+//
+//	r := core.NewRunner(config.Small()); r.Scale = 0.2
+//	r.Run(bench, tech) for each row, printing Cycles and IssuedTotal.
+func TestGoldenCycleCounts(t *testing.T) {
+	golden := []struct {
+		bench  string
+		tech   Technique
+		cycles int64
+		issued uint64
+	}{
+		{"hotspot", Baseline, 10867, 16896},
+		{"hotspot", WarpedGates, 11264, 16896},
+		{"nw", Baseline, 1933, 2048},
+		{"nw", WarpedGates, 2056, 2048},
+		{"bfs", Baseline, 13518, 4608},
+		{"bfs", WarpedGates, 13839, 4608},
+		{"sgemm", Baseline, 10362, 21504},
+		{"sgemm", WarpedGates, 11020, 21504},
+	}
+	r := NewRunner(config.Small())
+	r.Scale = 0.2
+	for _, g := range golden {
+		rep, err := r.Run(g.bench, g.tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cycles != g.cycles || rep.IssuedTotal != g.issued {
+			t.Errorf("%s/%s: cycles=%d issued=%d, golden %d/%d",
+				g.bench, g.tech, rep.Cycles, rep.IssuedTotal, g.cycles, g.issued)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/sim"
+)
+
+// Runner executes benchmark simulations with memoization: many figures reuse
+// the same (benchmark, technique) runs, and the cache guarantees each unique
+// configuration is simulated exactly once. Runner is safe for concurrent use.
+type Runner struct {
+	// Base is the machine configuration figures are evaluated on; technique
+	// and sweep parameters are applied on top of copies of it.
+	Base config.Config
+	// Scale multiplies each kernel's work (iterations and CTA count).
+	// 1.0 is the full evaluation; tests use small scales.
+	Scale float64
+	// Progress, when non-nil, is invoked before each uncached simulation.
+	Progress func(benchmark string, cfg config.Config)
+
+	mu    sync.Mutex
+	cache map[runKey]*sim.Report
+}
+
+// runKey identifies a unique simulation.
+type runKey struct {
+	bench      string
+	scheduler  config.SchedulerKind
+	gating     config.GatingKind
+	adaptive   bool
+	idleDetect int
+	breakEven  int
+	wakeup     int
+	numSMs     int
+	clusters   int
+	maxHold    int
+	auxBO      bool
+	seed       uint64
+	scale      float64
+}
+
+// NewRunner builds a runner over the given base configuration at full scale.
+func NewRunner(base config.Config) *Runner {
+	return &Runner{Base: base, Scale: 1.0, cache: make(map[runKey]*sim.Report)}
+}
+
+// DefaultRunner returns a runner over the paper's GTX480 baseline.
+func DefaultRunner() *Runner { return NewRunner(config.GTX480()) }
+
+// Run simulates benchmark bench under technique t on the base configuration.
+func (r *Runner) Run(bench string, t Technique) (*sim.Report, error) {
+	return r.RunCfg(bench, t.Apply(r.Base))
+}
+
+// RunCfg simulates bench under an explicit configuration (for sweeps).
+func (r *Runner) RunCfg(bench string, cfg config.Config) (*sim.Report, error) {
+	key := runKey{
+		bench:      bench,
+		scheduler:  cfg.Scheduler,
+		gating:     cfg.Gating,
+		adaptive:   cfg.AdaptiveIdleDetect,
+		idleDetect: cfg.IdleDetect,
+		breakEven:  cfg.BreakEven,
+		wakeup:     cfg.WakeupDelay,
+		numSMs:     cfg.NumSMs,
+		clusters:   cfg.NumSPClusters,
+		maxHold:    cfg.GATESMaxHold,
+		auxBO:      cfg.BlackoutAux,
+		seed:       cfg.Seed,
+		scale:      r.Scale,
+	}
+	r.mu.Lock()
+	if rep, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return rep, nil
+	}
+	r.mu.Unlock()
+
+	k, err := kernels.Benchmark(bench)
+	if err != nil {
+		return nil, err
+	}
+	if r.Scale != 1.0 {
+		k = k.Scale(r.Scale)
+	}
+	if r.Progress != nil {
+		r.Progress(bench, cfg)
+	}
+	gpu, err := sim.NewGPU(cfg, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: building GPU for %s: %w", bench, err)
+	}
+	rep := gpu.Run()
+
+	r.mu.Lock()
+	r.cache[key] = rep
+	r.mu.Unlock()
+	return rep, nil
+}
+
+// RunAll simulates every paper benchmark under technique t, returning reports
+// keyed by benchmark name in kernels.BenchmarkNames order.
+func (r *Runner) RunAll(t Technique) (map[string]*sim.Report, error) {
+	out := make(map[string]*sim.Report, len(kernels.BenchmarkNames))
+	for _, b := range kernels.BenchmarkNames {
+		rep, err := r.Run(b, t)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = rep
+	}
+	return out, nil
+}
+
+// Performance returns the paper's Figure 10 metric for one benchmark and
+// technique: baseline cycles divided by technique cycles (1.0 = no slowdown,
+// smaller = slower).
+func (r *Runner) Performance(bench string, t Technique) (float64, error) {
+	base, err := r.Run(bench, Baseline)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := r.Run(bench, t)
+	if err != nil {
+		return 0, err
+	}
+	if rep.Cycles == 0 {
+		return 0, fmt.Errorf("core: %s under %s ran zero cycles", bench, t)
+	}
+	return float64(base.Cycles) / float64(rep.Cycles), nil
+}
+
+// CacheSize returns the number of memoized simulations (for tests).
+func (r *Runner) CacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}

@@ -1,0 +1,107 @@
+// Package core is the public face of the reproduction: it names the paper's
+// techniques, runs simulations with memoization, and regenerates every table
+// and figure of the paper's evaluation (§7). Each RunFigN function returns
+// both structured results and a rendered text table with the same rows or
+// series the paper's figure reports.
+package core
+
+import (
+	"fmt"
+
+	"warpedgates/internal/config"
+)
+
+// Technique is one of the paper's evaluated configurations (§7.2 naming).
+type Technique uint8
+
+// The paper's five techniques plus the no-gating normalization baseline.
+const (
+	// Baseline is the two-level scheduler with power gating disabled; every
+	// energy and performance result is normalized against it.
+	Baseline Technique = iota
+	// ConvPG is conventional power gating (Hu et al.) under the two-level
+	// scheduler.
+	ConvPG
+	// GATESTech is the GATES scheduler with conventional power gating.
+	GATESTech
+	// NaiveBlackout is GATES + Blackout without cluster coordination.
+	NaiveBlackout
+	// CoordBlackout is GATES + Coordinated Blackout.
+	CoordBlackout
+	// WarpedGates is GATES + Coordinated Blackout + Adaptive idle detect:
+	// the paper's full proposal.
+	WarpedGates
+
+	NumTechniques
+)
+
+// String returns the paper's name for the technique.
+func (t Technique) String() string {
+	switch t {
+	case Baseline:
+		return "Baseline"
+	case ConvPG:
+		return "ConvPG"
+	case GATESTech:
+		return "GATES"
+	case NaiveBlackout:
+		return "NaiveBlackout"
+	case CoordBlackout:
+		return "CoordBlackout"
+	case WarpedGates:
+		return "WarpedGates"
+	default:
+		return fmt.Sprintf("Technique(%d)", uint8(t))
+	}
+}
+
+// ParseTechnique resolves a technique by its paper name (case-sensitive).
+func ParseTechnique(s string) (Technique, error) {
+	for t := Baseline; t < NumTechniques; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown technique %q", s)
+}
+
+// AllTechniques lists every technique in evaluation order.
+func AllTechniques() []Technique {
+	return []Technique{Baseline, ConvPG, GATESTech, NaiveBlackout, CoordBlackout, WarpedGates}
+}
+
+// GatedTechniques lists the five techniques the result figures compare
+// (everything but the normalization baseline).
+func GatedTechniques() []Technique {
+	return []Technique{ConvPG, GATESTech, NaiveBlackout, CoordBlackout, WarpedGates}
+}
+
+// Apply returns cfg specialized for the technique: scheduler choice, gating
+// policy and adaptive idle-detect, leaving all other parameters untouched.
+func (t Technique) Apply(cfg config.Config) config.Config {
+	cfg.AdaptiveIdleDetect = false
+	switch t {
+	case Baseline:
+		cfg.Scheduler = config.SchedTwoLevel
+		cfg.Gating = config.GateNone
+	case ConvPG:
+		cfg.Scheduler = config.SchedTwoLevel
+		cfg.Gating = config.GateConventional
+	case GATESTech:
+		cfg.Scheduler = config.SchedGATES
+		cfg.Gating = config.GateConventional
+	case NaiveBlackout:
+		cfg.Scheduler = config.SchedGATES
+		cfg.Gating = config.GateNaiveBlackout
+	case CoordBlackout:
+		cfg.Scheduler = config.SchedGATES
+		cfg.Gating = config.GateCoordBlackout
+	case WarpedGates:
+		cfg.Scheduler = config.SchedGATES
+		cfg.Gating = config.GateCoordBlackout
+		cfg.AdaptiveIdleDetect = true
+	default:
+		panic(fmt.Sprintf("core: cannot apply %v", t))
+	}
+	return cfg
+}

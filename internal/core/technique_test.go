@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"warpedgates/internal/config"
+)
+
+func TestTechniqueApplyMapping(t *testing.T) {
+	base := config.GTX480()
+	cases := []struct {
+		tech  Technique
+		sched config.SchedulerKind
+		gate  config.GatingKind
+		adapt bool
+	}{
+		{Baseline, config.SchedTwoLevel, config.GateNone, false},
+		{ConvPG, config.SchedTwoLevel, config.GateConventional, false},
+		{GATESTech, config.SchedGATES, config.GateConventional, false},
+		{NaiveBlackout, config.SchedGATES, config.GateNaiveBlackout, false},
+		{CoordBlackout, config.SchedGATES, config.GateCoordBlackout, false},
+		{WarpedGates, config.SchedGATES, config.GateCoordBlackout, true},
+	}
+	for _, c := range cases {
+		got := c.tech.Apply(base)
+		if got.Scheduler != c.sched || got.Gating != c.gate || got.AdaptiveIdleDetect != c.adapt {
+			t.Errorf("%s -> %v/%v/adapt=%v, want %v/%v/%v", c.tech,
+				got.Scheduler, got.Gating, got.AdaptiveIdleDetect, c.sched, c.gate, c.adapt)
+		}
+		// Machine geometry must pass through untouched.
+		if got.NumSMs != base.NumSMs || got.BreakEven != base.BreakEven {
+			t.Errorf("%s mutated machine parameters", c.tech)
+		}
+	}
+}
+
+func TestTechniqueRoundTripNames(t *testing.T) {
+	for _, tech := range AllTechniques() {
+		got, err := ParseTechnique(tech.String())
+		if err != nil || got != tech {
+			t.Errorf("round trip failed for %s: %v", tech, err)
+		}
+	}
+	if _, err := ParseTechnique("nope"); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}
+
+func TestGatedTechniquesExcludeBaseline(t *testing.T) {
+	gts := GatedTechniques()
+	if len(gts) != 5 {
+		t.Fatalf("gated techniques = %d, want 5 (paper's five series)", len(gts))
+	}
+	for _, g := range gts {
+		if g == Baseline {
+			t.Fatal("baseline in gated techniques")
+		}
+	}
+}
+
+func TestApplyUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown technique Apply did not panic")
+		}
+	}()
+	Technique(99).Apply(config.GTX480())
+}

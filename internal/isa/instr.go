@@ -1,0 +1,164 @@
+package isa
+
+import "fmt"
+
+// Reg is an architectural register index within a warp (0..NumRegs-1).
+// NoReg marks an unused operand slot.
+type Reg int8
+
+// NumRegs is the per-warp architectural register count modeled by the
+// scoreboard (a 64-bit pending mask per warp).
+const NumRegs = 64
+
+// NoReg marks an absent register operand (e.g. the destination of a store).
+const NoReg Reg = -1
+
+// MemSpace identifies which memory a LDST instruction touches.
+type MemSpace uint8
+
+// Memory spaces.
+const (
+	SpaceNone   MemSpace = iota // not a memory instruction
+	SpaceGlobal                 // off-chip global memory through L1/L2/DRAM
+	SpaceShared                 // per-SM scratchpad
+	SpaceLocal                  // per-thread local (spills), cached like global
+)
+
+// String returns a short name for the space.
+func (s MemSpace) String() string {
+	switch s {
+	case SpaceNone:
+		return "none"
+	case SpaceGlobal:
+		return "global"
+	case SpaceShared:
+		return "shared"
+	case SpaceLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("MemSpace(%d)", uint8(s))
+	}
+}
+
+// AccessPattern describes how the 32 threads of a warp spread their addresses,
+// which determines how many memory transactions the coalescer emits.
+type AccessPattern uint8
+
+// Access patterns, from fully coalesced to fully divergent.
+const (
+	PatternCoalesced AccessPattern = iota // 32 consecutive words -> 1 transaction per 128B line
+	PatternStrided2                       // stride-2 words -> 2 lines
+	PatternStrided8                       // stride-8 words -> 8 lines
+	PatternRandom                         // arbitrary -> up to 32 lines
+)
+
+// String returns a short name for the pattern.
+func (p AccessPattern) String() string {
+	switch p {
+	case PatternCoalesced:
+		return "coalesced"
+	case PatternStrided2:
+		return "strided2"
+	case PatternStrided8:
+		return "strided8"
+	case PatternRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("AccessPattern(%d)", uint8(p))
+	}
+}
+
+// Instr is one static instruction of a kernel body. Warps execute the body
+// in SIMT lockstep; per-warp dynamic behaviour (addresses) derives from the
+// warp's deterministic PRNG stream.
+type Instr struct {
+	Op   Op
+	Dst  Reg    // NoReg for stores and other result-less ops
+	Srcs [3]Reg // unused slots hold NoReg
+	NSrc int
+
+	// Memory attributes; meaningful only when IsMemory(Op).
+	Space   MemSpace
+	Pattern AccessPattern
+	// Region selects which of the kernel's address regions this access
+	// falls in; combined with the kernel's working-set size it controls
+	// locality and therefore cache hit rates.
+	Region uint8
+}
+
+// Class returns the execution-unit class the instruction needs.
+func (in *Instr) Class() Class { return ClassOf(in.Op) }
+
+// Latency returns the instruction's issue-to-writeback latency.
+func (in *Instr) Latency() int { return Latency(in.Op) }
+
+// InitiationInterval returns the cycles the instruction holds its issue port.
+func (in *Instr) InitiationInterval() int { return InitiationInterval(in.Op) }
+
+// SrcRegs returns the used source registers.
+func (in *Instr) SrcRegs() []Reg { return in.Srcs[:in.NSrc] }
+
+// Validate checks structural invariants of the instruction and returns a
+// descriptive error for the first violation found.
+func (in *Instr) Validate() error {
+	if in.Op >= NumOps {
+		return fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.NSrc < 0 || in.NSrc > 3 {
+		return fmt.Errorf("isa: %s has invalid source count %d", in.Op, in.NSrc)
+	}
+	for i := 0; i < in.NSrc; i++ {
+		if in.Srcs[i] < 0 || in.Srcs[i] >= NumRegs {
+			return fmt.Errorf("isa: %s source %d out of range: %d", in.Op, i, in.Srcs[i])
+		}
+	}
+	if in.Dst != NoReg && (in.Dst < 0 || in.Dst >= NumRegs) {
+		return fmt.Errorf("isa: %s destination out of range: %d", in.Op, in.Dst)
+	}
+	if IsStore(in.Op) && in.Dst != NoReg {
+		return fmt.Errorf("isa: store %s must not have a destination", in.Op)
+	}
+	if IsLoad(in.Op) && in.Dst == NoReg {
+		return fmt.Errorf("isa: load %s must have a destination", in.Op)
+	}
+	if IsMemory(in.Op) && in.Space == SpaceNone {
+		return fmt.Errorf("isa: memory op %s missing memory space", in.Op)
+	}
+	if !IsMemory(in.Op) && in.Space != SpaceNone {
+		return fmt.Errorf("isa: non-memory op %s has memory space %s", in.Op, in.Space)
+	}
+	return nil
+}
+
+// String renders the instruction in a compact assembly-like form.
+func (in *Instr) String() string {
+	s := in.Op.String()
+	if in.Dst != NoReg {
+		s += fmt.Sprintf(" r%d", in.Dst)
+	}
+	for i := 0; i < in.NSrc; i++ {
+		s += fmt.Sprintf(", r%d", in.Srcs[i])
+	}
+	if IsMemory(in.Op) {
+		s += fmt.Sprintf(" [%s/%s]", in.Space, in.Pattern)
+	}
+	return s
+}
+
+// DstMask returns the scoreboard bit for the destination register, or 0 when
+// the instruction produces no register result.
+func (in *Instr) DstMask() uint64 {
+	if in.Dst == NoReg {
+		return 0
+	}
+	return 1 << uint(in.Dst)
+}
+
+// SrcMask returns the scoreboard bits for all used source registers.
+func (in *Instr) SrcMask() uint64 {
+	var m uint64
+	for i := 0; i < in.NSrc; i++ {
+		m |= 1 << uint(in.Srcs[i])
+	}
+	return m
+}

@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func validAdd() Instr {
+	return Instr{Op: OpIADD, Dst: 10, NSrc: 2, Srcs: [3]Reg{1, 2, NoReg}}
+}
+
+func TestInstrValidateOK(t *testing.T) {
+	in := validAdd()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid instruction rejected: %v", err)
+	}
+	ld := Instr{Op: OpLDG, Dst: 9, NSrc: 1, Srcs: [3]Reg{1, NoReg, NoReg},
+		Space: SpaceGlobal, Pattern: PatternCoalesced}
+	if err := ld.Validate(); err != nil {
+		t.Fatalf("valid load rejected: %v", err)
+	}
+	st := Instr{Op: OpSTS, Dst: NoReg, NSrc: 2, Srcs: [3]Reg{1, 2, NoReg}, Space: SpaceShared}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("valid store rejected: %v", err)
+	}
+}
+
+func TestInstrValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Instr)
+	}{
+		{"bad opcode", func(in *Instr) { in.Op = NumOps }},
+		{"negative nsrc", func(in *Instr) { in.NSrc = -1 }},
+		{"too many sources", func(in *Instr) { in.NSrc = 4 }},
+		{"source out of range", func(in *Instr) { in.Srcs[0] = NumRegs }},
+		{"negative source", func(in *Instr) { in.Srcs[1] = -2 }},
+		{"dst out of range", func(in *Instr) { in.Dst = NumRegs + 3 }},
+		{"space on ALU op", func(in *Instr) { in.Space = SpaceGlobal }},
+	}
+	for _, c := range cases {
+		in := validAdd()
+		c.mut(&in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestStoreWithDstRejected(t *testing.T) {
+	st := Instr{Op: OpSTG, Dst: 5, NSrc: 1, Srcs: [3]Reg{1, NoReg, NoReg}, Space: SpaceGlobal}
+	if err := st.Validate(); err == nil {
+		t.Fatal("store with destination accepted")
+	}
+}
+
+func TestLoadWithoutDstRejected(t *testing.T) {
+	ld := Instr{Op: OpLDG, Dst: NoReg, NSrc: 1, Srcs: [3]Reg{1, NoReg, NoReg}, Space: SpaceGlobal}
+	if err := ld.Validate(); err == nil {
+		t.Fatal("load without destination accepted")
+	}
+}
+
+func TestMemoryWithoutSpaceRejected(t *testing.T) {
+	ld := Instr{Op: OpLDG, Dst: 5, NSrc: 1, Srcs: [3]Reg{1, NoReg, NoReg}}
+	if err := ld.Validate(); err == nil {
+		t.Fatal("memory op without space accepted")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := validAdd()
+	s := in.String()
+	if !strings.Contains(s, "IADD") || !strings.Contains(s, "r10") || !strings.Contains(s, "r1") {
+		t.Fatalf("String() = %q", s)
+	}
+	ld := Instr{Op: OpLDG, Dst: 9, NSrc: 1, Srcs: [3]Reg{1, NoReg, NoReg},
+		Space: SpaceGlobal, Pattern: PatternRandom}
+	if !strings.Contains(ld.String(), "global") || !strings.Contains(ld.String(), "random") {
+		t.Fatalf("load String() = %q", ld.String())
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	in := validAdd()
+	srcs := in.SrcRegs()
+	if len(srcs) != 2 || srcs[0] != 1 || srcs[1] != 2 {
+		t.Fatalf("SrcRegs = %v", srcs)
+	}
+}
+
+func TestInstrClassAndTiming(t *testing.T) {
+	in := validAdd()
+	if in.Class() != INT || in.Latency() != 4 || in.InitiationInterval() != 1 {
+		t.Fatalf("class/timing wrong: %s %d %d", in.Class(), in.Latency(), in.InitiationInterval())
+	}
+}
+
+func TestSpaceAndPatternStrings(t *testing.T) {
+	for s, want := range map[MemSpace]string{
+		SpaceNone: "none", SpaceGlobal: "global", SpaceShared: "shared", SpaceLocal: "local",
+	} {
+		if s.String() != want {
+			t.Errorf("MemSpace %d String = %s", s, s)
+		}
+	}
+	for p, want := range map[AccessPattern]string{
+		PatternCoalesced: "coalesced", PatternStrided2: "strided2",
+		PatternStrided8: "strided8", PatternRandom: "random",
+	} {
+		if p.String() != want {
+			t.Errorf("pattern %d String = %s", p, p)
+		}
+	}
+}

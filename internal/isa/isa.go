@@ -1,0 +1,180 @@
+// Package isa defines the instruction set abstraction used by the Warped
+// Gates simulator: execution-unit classes (INT, FP, SFU, LDST — the four
+// classes the paper's GATES scheduler partitions the active warp set by),
+// opcodes with Fermi-like latency/initiation-interval tables, memory spaces
+// and access patterns, and the Instr type that kernels are built from.
+package isa
+
+import "fmt"
+
+// Class identifies which execution-unit type an instruction requires. It is
+// the two-bit "instruction type" field GATES adds to each active-warp entry.
+type Class uint8
+
+// Execution unit classes, in the paper's naming.
+const (
+	INT  Class = iota // integer pipeline inside a CUDA core
+	FP                // floating-point pipeline inside a CUDA core
+	SFU               // special function unit (sin, cos, rsqrt, ...)
+	LDST              // load/store unit
+	NumClasses
+)
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	switch c {
+	case INT:
+		return "INT"
+	case FP:
+		return "FP"
+	case SFU:
+		return "SFU"
+	case LDST:
+		return "LDST"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is one of the four defined classes.
+func (c Class) Valid() bool { return c < NumClasses }
+
+// Op is an opcode. The set is a representative subset of the PTX/SASS
+// operations the paper's benchmarks execute; what matters for every result in
+// the paper is the opcode's class, latency, and initiation interval.
+type Op uint8
+
+// Opcodes grouped by class.
+const (
+	// Integer ops.
+	OpIADD Op = iota
+	OpISUB
+	OpIMUL
+	OpIMAD
+	OpAND
+	OpOR
+	OpXOR
+	OpSHL
+	OpSHR
+	OpSETP // predicate compare
+	OpMOV
+
+	// Floating-point ops.
+	OpFADD
+	OpFMUL
+	OpFFMA
+	OpFSET
+	OpFDIV
+
+	// Special function ops.
+	OpSIN
+	OpCOS
+	OpRSQRT
+	OpEXP
+	OpLG2
+
+	// Memory ops.
+	OpLDG // load global
+	OpSTG // store global
+	OpLDS // load shared
+	OpSTS // store shared
+	OpLDL // load local (spills)
+
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	OpIADD: "IADD", OpISUB: "ISUB", OpIMUL: "IMUL", OpIMAD: "IMAD",
+	OpAND: "AND", OpOR: "OR", OpXOR: "XOR", OpSHL: "SHL", OpSHR: "SHR",
+	OpSETP: "SETP", OpMOV: "MOV",
+	OpFADD: "FADD", OpFMUL: "FMUL", OpFFMA: "FFMA", OpFSET: "FSET", OpFDIV: "FDIV",
+	OpSIN: "SIN", OpCOS: "COS", OpRSQRT: "RSQRT", OpEXP: "EXP", OpLG2: "LG2",
+	OpLDG: "LDG", OpSTG: "STG", OpLDS: "LDS", OpSTS: "STS", OpLDL: "LDL",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if o < NumOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// opInfo holds the static properties of an opcode.
+type opInfo struct {
+	class   Class
+	latency int // cycles from issue to writeback (ALU/SFU); base for memory
+	ii      int // initiation interval: cycles the unit's issue port is held
+}
+
+// opTable mirrors GPGPU-Sim's default Fermi configuration: simple INT and FP
+// ops have latency 4 and initiation interval 1 (the exact parameters the
+// paper's Figure 4 walkthrough uses); multiplies and divides are longer; SFU
+// ops occupy the 4-wide SFU bank for 8 cycles per 32-thread warp.
+var opTable = [NumOps]opInfo{
+	OpIADD: {INT, 4, 1},
+	OpISUB: {INT, 4, 1},
+	OpIMUL: {INT, 9, 1},
+	OpIMAD: {INT, 9, 1},
+	OpAND:  {INT, 4, 1},
+	OpOR:   {INT, 4, 1},
+	OpXOR:  {INT, 4, 1},
+	OpSHL:  {INT, 4, 1},
+	OpSHR:  {INT, 4, 1},
+	OpSETP: {INT, 4, 1},
+	OpMOV:  {INT, 4, 1},
+
+	OpFADD: {FP, 4, 1},
+	OpFMUL: {FP, 4, 1},
+	OpFFMA: {FP, 4, 1},
+	OpFSET: {FP, 4, 1},
+	OpFDIV: {FP, 16, 4},
+
+	OpSIN:   {SFU, 21, 8},
+	OpCOS:   {SFU, 21, 8},
+	OpRSQRT: {SFU, 21, 8},
+	OpEXP:   {SFU, 21, 8},
+	OpLG2:   {SFU, 21, 8},
+
+	// Memory op latency here is only the LDST-port pipeline depth; the actual
+	// completion time comes from the memory subsystem model.
+	OpLDG: {LDST, 4, 1},
+	OpSTG: {LDST, 4, 1},
+	OpLDS: {LDST, 4, 1},
+	OpSTS: {LDST, 4, 1},
+	OpLDL: {LDST, 4, 1},
+}
+
+// ClassOf returns the execution-unit class required by op.
+func ClassOf(op Op) Class {
+	if op >= NumOps {
+		panic(fmt.Sprintf("isa: unknown opcode %d", op))
+	}
+	return opTable[op].class
+}
+
+// Latency returns the issue-to-writeback latency of op in core cycles.
+func Latency(op Op) int {
+	if op >= NumOps {
+		panic(fmt.Sprintf("isa: unknown opcode %d", op))
+	}
+	return opTable[op].latency
+}
+
+// InitiationInterval returns the number of cycles op occupies its unit's
+// issue port.
+func InitiationInterval(op Op) int {
+	if op >= NumOps {
+		panic(fmt.Sprintf("isa: unknown opcode %d", op))
+	}
+	return opTable[op].ii
+}
+
+// IsMemory reports whether op is serviced by the memory subsystem.
+func IsMemory(op Op) bool { return ClassOf(op) == LDST }
+
+// IsLoad reports whether op produces a register value from memory.
+func IsLoad(op Op) bool { return op == OpLDG || op == OpLDS || op == OpLDL }
+
+// IsStore reports whether op writes memory and produces no register result.
+func IsStore(op Op) bool { return op == OpSTG || op == OpSTS }

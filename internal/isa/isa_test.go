@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEveryOpcodeHasValidMetadata(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if !ClassOf(op).Valid() {
+			t.Errorf("%s has invalid class", op)
+		}
+		if Latency(op) <= 0 {
+			t.Errorf("%s has non-positive latency %d", op, Latency(op))
+		}
+		if InitiationInterval(op) <= 0 {
+			t.Errorf("%s has non-positive ii %d", op, InitiationInterval(op))
+		}
+		if Latency(op) < InitiationInterval(op) {
+			t.Errorf("%s latency %d < ii %d", op, Latency(op), InitiationInterval(op))
+		}
+		if op.String() == "" {
+			t.Errorf("opcode %d has empty mnemonic", op)
+		}
+	}
+}
+
+func TestPaperLatencies(t *testing.T) {
+	// GPGPU-Sim's default Fermi parameters the paper's Figure 4 relies on:
+	// simple INT and FP adds have latency 4 and initiation interval 1.
+	for _, op := range []Op{OpIADD, OpFADD} {
+		if Latency(op) != 4 {
+			t.Errorf("%s latency = %d, want 4", op, Latency(op))
+		}
+		if InitiationInterval(op) != 1 {
+			t.Errorf("%s ii = %d, want 1", op, InitiationInterval(op))
+		}
+	}
+}
+
+func TestClassAssignments(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpIADD, INT}, {OpIMUL, INT}, {OpSETP, INT},
+		{OpFADD, FP}, {OpFFMA, FP}, {OpFDIV, FP},
+		{OpSIN, SFU}, {OpRSQRT, SFU},
+		{OpLDG, LDST}, {OpSTS, LDST}, {OpLDL, LDST},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.want {
+			t.Errorf("ClassOf(%s) = %s, want %s", c.op, got, c.want)
+		}
+	}
+}
+
+func TestSFUOccupancy(t *testing.T) {
+	// Four SFUs serving a 32-thread warp occupy the bank for 8 cycles.
+	for _, op := range []Op{OpSIN, OpCOS, OpRSQRT, OpEXP, OpLG2} {
+		if InitiationInterval(op) != 8 {
+			t.Errorf("%s ii = %d, want 8", op, InitiationInterval(op))
+		}
+	}
+}
+
+func TestLoadStorePredicates(t *testing.T) {
+	if !IsLoad(OpLDG) || !IsLoad(OpLDS) || !IsLoad(OpLDL) {
+		t.Error("load predicates wrong")
+	}
+	if !IsStore(OpSTG) || !IsStore(OpSTS) {
+		t.Error("store predicates wrong")
+	}
+	if IsLoad(OpSTG) || IsStore(OpLDG) || IsLoad(OpIADD) {
+		t.Error("predicate false positives")
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if (IsLoad(op) || IsStore(op)) && !IsMemory(op) {
+			t.Errorf("%s is load/store but not memory", op)
+		}
+		if IsMemory(op) != (ClassOf(op) == LDST) {
+			t.Errorf("%s IsMemory inconsistent with class", op)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{INT: "INT", FP: "FP", SFU: "SFU", LDST: "LDST"} {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %s, want %s", c, c, want)
+		}
+	}
+	if Class(99).Valid() {
+		t.Error("Class(99) should be invalid")
+	}
+}
+
+func TestUnknownOpcodePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ClassOf(NumOps) },
+		func() { Latency(NumOps + 1) },
+		func() { InitiationInterval(Op(200)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unknown opcode did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaskConsistency(t *testing.T) {
+	// Property: DstMask has exactly one bit for ops with destinations, zero
+	// otherwise; SrcMask covers exactly the used sources.
+	f := func(dstRaw, s1, s2 uint8, nsrcRaw uint8) bool {
+		in := Instr{Op: OpIADD, NSrc: int(nsrcRaw % 3)}
+		in.Dst = Reg(dstRaw % NumRegs)
+		in.Srcs[0] = Reg(s1 % NumRegs)
+		in.Srcs[1] = Reg(s2 % NumRegs)
+		dm := in.DstMask()
+		if dm != 1<<uint(in.Dst) {
+			return false
+		}
+		sm := in.SrcMask()
+		var want uint64
+		for i := 0; i < in.NSrc; i++ {
+			want |= 1 << uint(in.Srcs[i])
+		}
+		return sm == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDstMaskNoReg(t *testing.T) {
+	in := Instr{Op: OpSTG, Dst: NoReg, Space: SpaceGlobal}
+	if in.DstMask() != 0 {
+		t.Fatal("store DstMask should be 0")
+	}
+}

@@ -1,0 +1,212 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"warpedgates/internal/isa"
+)
+
+// BenchmarkNames lists the 18 benchmarks of the paper's evaluation (§7.1),
+// drawn from Rodinia, Parboil and ISPASS, in the alphabetical order the
+// paper's result figures use.
+var BenchmarkNames = []string{
+	"backprop", "bfs", "btree", "cutcp", "gaussian", "heartwall",
+	"hotspot", "kmeans", "lavaMD", "lbm", "LIB", "mri",
+	"MUM", "NN", "nw", "sgemm", "srad", "WP",
+}
+
+// IntegerOnly reports whether the benchmark has (approximately) no floating
+// point activity; the paper excludes such benchmarks from FP-unit results
+// ("All floating point results ... excludes integer-only benchmarks").
+func IntegerOnly(name string) bool {
+	p, ok := profiles[name]
+	return ok && p.FracFP == 0
+}
+
+// profiles encodes the workload characterization the paper reports:
+//
+//   - instruction mix per benchmark follows Fig. 5a (FP share grows roughly
+//     in the order lavaMD, nw, MUM ... sgemm, cutcp; lavaMD is the paper's
+//     example of a pure-integer workload);
+//   - active-warp occupancy follows Fig. 5b (srad/lbm/backprop/mri/MUM/bfs/
+//     hotspot/lavaMD/sgemm/cutcp run many warps; nw/gaussian/NN/LIB/WP run
+//     fewer than ten on average);
+//   - backprop and lavaMD keep their functional units highly utilized (§7.2:
+//     "very few idle cycles"), which we express with wide dependence windows
+//     and cache-resident working sets;
+//   - cutcp and mri produce many idle windows that die before break-even
+//     under conventional gating (§7.2), which we express with SFU-heavy
+//     bodies and mid-size occupancy that leaves medium-length gaps.
+var profiles = map[string]*Profile{
+	"backprop": {
+		Name: "backprop", FracINT: 0.38, FracFP: 0.37, FracSFU: 0.05, FracLDST: 0.20,
+		BodyLen: 96, Iterations: 16, DepWindow: 7, LoadUseGap: 6,
+		SharedFrac: 0.45, StoreFrac: 0.25, Pattern: isa.PatternCoalesced, RandomFrac: 0.05,
+		WorkingLines: 192, NumRegions: 3, IMulFrac: 0.10, FDivFrac: 0.02,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 5, CTAsPerSM: 9,
+	},
+	"bfs": {
+		Name: "bfs", FracINT: 0.60, FracFP: 0.02, FracSFU: 0.00, FracLDST: 0.38,
+		BodyLen: 72, Iterations: 6, DepWindow: 4, LoadUseGap: 2,
+		SharedFrac: 0.05, StoreFrac: 0.30, Pattern: isa.PatternStrided2, RandomFrac: 0.30,
+		WorkingLines: 1024, NumRegions: 4, IMulFrac: 0.05, FDivFrac: 0.0,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 4, CTAsPerSM: 4,
+	},
+	"btree": {
+		Name: "btree", FracINT: 0.58, FracFP: 0.14, FracSFU: 0.00, FracLDST: 0.28,
+		BodyLen: 80, Iterations: 10, DepWindow: 4, LoadUseGap: 2,
+		SharedFrac: 0.10, StoreFrac: 0.15, Pattern: isa.PatternStrided2, RandomFrac: 0.45,
+		WorkingLines: 1024, NumRegions: 4, IMulFrac: 0.08, FDivFrac: 0.0,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 2, CTAsPerSM: 3,
+	},
+	"cutcp": {
+		Name: "cutcp", FracINT: 0.20, FracFP: 0.58, FracSFU: 0.08, FracLDST: 0.14,
+		BodyLen: 112, Iterations: 14, DepWindow: 5, LoadUseGap: 6,
+		SharedFrac: 0.55, StoreFrac: 0.10, Pattern: isa.PatternCoalesced, RandomFrac: 0.10,
+		WorkingLines: 256, NumRegions: 3, IMulFrac: 0.05, FDivFrac: 0.04,
+		WarpsPerCTA: 6, MaxConcurrentCTAs: 4, CTAsPerSM: 6,
+	},
+	"gaussian": {
+		Name: "gaussian", FracINT: 0.48, FracFP: 0.28, FracSFU: 0.00, FracLDST: 0.24,
+		BodyLen: 64, Iterations: 12, DepWindow: 3, LoadUseGap: 2,
+		SharedFrac: 0.10, StoreFrac: 0.30, Pattern: isa.PatternStrided8, RandomFrac: 0.15,
+		WorkingLines: 1024, NumRegions: 2, IMulFrac: 0.06, FDivFrac: 0.06,
+		WarpsPerCTA: 4, MaxConcurrentCTAs: 2, CTAsPerSM: 5,
+	},
+	"heartwall": {
+		Name: "heartwall", FracINT: 0.62, FracFP: 0.12, FracSFU: 0.03, FracLDST: 0.23,
+		BodyLen: 104, Iterations: 12, DepWindow: 5, LoadUseGap: 4,
+		SharedFrac: 0.35, StoreFrac: 0.20, Pattern: isa.PatternCoalesced, RandomFrac: 0.15,
+		WorkingLines: 768, NumRegions: 4, IMulFrac: 0.12, FDivFrac: 0.02,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 2, CTAsPerSM: 4,
+	},
+	"hotspot": {
+		Name: "hotspot", FracINT: 0.47, FracFP: 0.28, FracSFU: 0.00, FracLDST: 0.25,
+		BodyLen: 88, Iterations: 16, DepWindow: 5, LoadUseGap: 4,
+		SharedFrac: 0.40, StoreFrac: 0.20, Pattern: isa.PatternCoalesced, RandomFrac: 0.08,
+		WorkingLines: 1024, NumRegions: 3, IMulFrac: 0.08, FDivFrac: 0.03,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 4, CTAsPerSM: 6,
+	},
+	"kmeans": {
+		Name: "kmeans", FracINT: 0.56, FracFP: 0.17, FracSFU: 0.00, FracLDST: 0.27,
+		BodyLen: 76, Iterations: 12, DepWindow: 6, LoadUseGap: 3,
+		SharedFrac: 0.10, StoreFrac: 0.15, Pattern: isa.PatternCoalesced, RandomFrac: 0.25,
+		WorkingLines: 2048, NumRegions: 3, IMulFrac: 0.08, FDivFrac: 0.02,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 2, CTAsPerSM: 4,
+	},
+	"lavaMD": {
+		Name: "lavaMD", FracINT: 0.76, FracFP: 0.00, FracSFU: 0.04, FracLDST: 0.20,
+		BodyLen: 96, Iterations: 16, DepWindow: 4, LoadUseGap: 3,
+		SharedFrac: 0.50, StoreFrac: 0.20, Pattern: isa.PatternCoalesced, RandomFrac: 0.05,
+		WorkingLines: 256, NumRegions: 3, IMulFrac: 0.15, FDivFrac: 0.0,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 4, CTAsPerSM: 9,
+	},
+	"lbm": {
+		Name: "lbm", FracINT: 0.24, FracFP: 0.52, FracSFU: 0.00, FracLDST: 0.24,
+		BodyLen: 120, Iterations: 8, DepWindow: 8, LoadUseGap: 3,
+		SharedFrac: 0.05, StoreFrac: 0.40, Pattern: isa.PatternCoalesced, RandomFrac: 0.05,
+		WorkingLines: 8192, NumRegions: 4, IMulFrac: 0.05, FDivFrac: 0.03,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 5, CTAsPerSM: 6,
+	},
+	"LIB": {
+		Name: "LIB", FracINT: 0.32, FracFP: 0.46, FracSFU: 0.06, FracLDST: 0.16,
+		BodyLen: 84, Iterations: 12, DepWindow: 4, LoadUseGap: 3,
+		SharedFrac: 0.05, StoreFrac: 0.20, Pattern: isa.PatternCoalesced, RandomFrac: 0.20,
+		WorkingLines: 2048, NumRegions: 3, IMulFrac: 0.05, FDivFrac: 0.05,
+		WarpsPerCTA: 4, MaxConcurrentCTAs: 2, CTAsPerSM: 5,
+	},
+	"mri": {
+		Name: "mri", FracINT: 0.24, FracFP: 0.50, FracSFU: 0.12, FracLDST: 0.14,
+		BodyLen: 100, Iterations: 14, DepWindow: 5, LoadUseGap: 6,
+		SharedFrac: 0.20, StoreFrac: 0.10, Pattern: isa.PatternCoalesced, RandomFrac: 0.05,
+		WorkingLines: 512, NumRegions: 2, IMulFrac: 0.05, FDivFrac: 0.03,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 4, CTAsPerSM: 6,
+	},
+	"MUM": {
+		Name: "MUM", FracINT: 0.68, FracFP: 0.04, FracSFU: 0.01, FracLDST: 0.27,
+		BodyLen: 88, Iterations: 6, DepWindow: 4, LoadUseGap: 2,
+		SharedFrac: 0.05, StoreFrac: 0.10, Pattern: isa.PatternStrided2, RandomFrac: 0.50,
+		WorkingLines: 4096, NumRegions: 4, IMulFrac: 0.06, FDivFrac: 0.0,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 4, CTAsPerSM: 4,
+	},
+	"NN": {
+		Name: "NN", FracINT: 0.52, FracFP: 0.24, FracSFU: 0.04, FracLDST: 0.20,
+		BodyLen: 72, Iterations: 14, DepWindow: 4, LoadUseGap: 3,
+		SharedFrac: 0.10, StoreFrac: 0.15, Pattern: isa.PatternCoalesced, RandomFrac: 0.20,
+		WorkingLines: 2048, NumRegions: 2, IMulFrac: 0.06, FDivFrac: 0.02,
+		WarpsPerCTA: 4, MaxConcurrentCTAs: 2, CTAsPerSM: 5,
+	},
+	"nw": {
+		Name: "nw", FracINT: 0.68, FracFP: 0.02, FracSFU: 0.00, FracLDST: 0.30,
+		BodyLen: 64, Iterations: 12, DepWindow: 3, LoadUseGap: 2,
+		SharedFrac: 0.45, StoreFrac: 0.30, Pattern: isa.PatternStrided2, RandomFrac: 0.10,
+		WorkingLines: 2048, NumRegions: 2, IMulFrac: 0.04, FDivFrac: 0.0,
+		WarpsPerCTA: 4, MaxConcurrentCTAs: 2, CTAsPerSM: 4,
+	},
+	"sgemm": {
+		Name: "sgemm", FracINT: 0.20, FracFP: 0.58, FracSFU: 0.00, FracLDST: 0.22,
+		BodyLen: 112, Iterations: 14, DepWindow: 7, LoadUseGap: 5,
+		SharedFrac: 0.55, StoreFrac: 0.10, Pattern: isa.PatternCoalesced, RandomFrac: 0.02,
+		WorkingLines: 384, NumRegions: 3, IMulFrac: 0.08, FDivFrac: 0.0,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 4, CTAsPerSM: 8,
+	},
+	"srad": {
+		Name: "srad", FracINT: 0.44, FracFP: 0.31, FracSFU: 0.03, FracLDST: 0.22,
+		BodyLen: 96, Iterations: 12, DepWindow: 6, LoadUseGap: 4,
+		SharedFrac: 0.15, StoreFrac: 0.25, Pattern: isa.PatternCoalesced, RandomFrac: 0.05,
+		WorkingLines: 4096, NumRegions: 4, IMulFrac: 0.06, FDivFrac: 0.05,
+		WarpsPerCTA: 8, MaxConcurrentCTAs: 6, CTAsPerSM: 8,
+	},
+	"WP": {
+		Name: "WP", FracINT: 0.34, FracFP: 0.41, FracSFU: 0.06, FracLDST: 0.19,
+		BodyLen: 92, Iterations: 10, DepWindow: 5, LoadUseGap: 4,
+		SharedFrac: 0.15, StoreFrac: 0.20, Pattern: isa.PatternStrided2, RandomFrac: 0.15,
+		WorkingLines: 3072, NumRegions: 3, IMulFrac: 0.06, FDivFrac: 0.05,
+		WarpsPerCTA: 6, MaxConcurrentCTAs: 2, CTAsPerSM: 4,
+	},
+}
+
+// Benchmark returns the synthetic kernel for one of the paper's benchmarks.
+func Benchmark(name string) (*Kernel, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown benchmark %q (known: %v)", name, BenchmarkNames)
+	}
+	return p.Build()
+}
+
+// MustBenchmark is Benchmark but panics on error; the built-in profiles are
+// covered by tests, so failure here is a programming error.
+func MustBenchmark(name string) *Kernel {
+	k, err := Benchmark(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// BenchmarkProfile returns a copy of the profile behind a built-in benchmark,
+// for inspection and for building variants in tests.
+func BenchmarkProfile(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("kernels: unknown benchmark %q", name)
+	}
+	return *p, nil
+}
+
+// AllBenchmarks builds every paper benchmark, sorted by name.
+func AllBenchmarks() ([]*Kernel, error) {
+	names := append([]string(nil), BenchmarkNames...)
+	sort.Strings(names)
+	ks := make([]*Kernel, 0, len(names))
+	for _, n := range names {
+		k, err := Benchmark(n)
+		if err != nil {
+			return nil, err
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}

@@ -1,0 +1,194 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warpedgates/internal/isa"
+)
+
+// testProfile returns a small valid profile for mutation tests.
+func testProfile() Profile {
+	return Profile{
+		Name: "test", FracINT: 0.5, FracFP: 0.2, FracSFU: 0.05, FracLDST: 0.25,
+		BodyLen: 64, Iterations: 4, DepWindow: 4, LoadUseGap: 3,
+		SharedFrac: 0.2, StoreFrac: 0.2, Pattern: isa.PatternCoalesced, RandomFrac: 0.1,
+		WorkingLines: 128, NumRegions: 2, IMulFrac: 0.1, FDivFrac: 0.05,
+		WarpsPerCTA: 4, MaxConcurrentCTAs: 2, CTAsPerSM: 4,
+	}
+}
+
+func TestProfileBuildValidKernel(t *testing.T) {
+	p := testProfile()
+	k, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Body) != p.BodyLen {
+		t.Fatalf("body length %d, want %d", len(k.Body), p.BodyLen)
+	}
+}
+
+func TestProfileValidateMixSum(t *testing.T) {
+	p := testProfile()
+	p.FracINT = 0.9 // now sums to 1.4
+	if _, err := p.Build(); err == nil {
+		t.Fatal("mix sum > 1 accepted")
+	}
+}
+
+func TestProfileValidateRanges(t *testing.T) {
+	muts := []func(*Profile){
+		func(p *Profile) { p.StoreFrac = 1.5 },
+		func(p *Profile) { p.SharedFrac = -0.1 },
+		func(p *Profile) { p.BodyLen = 0 },
+		func(p *Profile) { p.Iterations = 0 },
+		func(p *Profile) { p.DepWindow = 0 },
+		func(p *Profile) { p.LoadUseGap = -1 },
+		func(p *Profile) { p.WarpsPerCTA = 0 },
+		func(p *Profile) { p.CTAsPerSM = 0 },
+		func(p *Profile) { p.WorkingLines = 0 },
+		func(p *Profile) { p.NumRegions = 0 },
+	}
+	for i, mut := range muts {
+		p := testProfile()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestGeneratedLoadsAreConsumed(t *testing.T) {
+	// Every load destination should be read by a later instruction within a
+	// bounded window — otherwise memory latency would never stall warps and
+	// the workload would not exercise the pending set.
+	k := MustBenchmark("hotspot")
+	consumed := 0
+	loads := 0
+	for i, in := range k.Body {
+		if !isa.IsLoad(in.Op) {
+			continue
+		}
+		loads++
+		for j := i + 1; j < len(k.Body) && j < i+40; j++ {
+			found := false
+			for _, s := range k.Body[j].SrcRegs() {
+				if s == in.Dst {
+					found = true
+					break
+				}
+			}
+			if found {
+				consumed++
+				break
+			}
+		}
+	}
+	if loads == 0 {
+		t.Fatal("hotspot generated no loads")
+	}
+	if frac := float64(consumed) / float64(loads); frac < 0.7 {
+		t.Fatalf("only %.0f%% of loads are consumed nearby", frac*100)
+	}
+}
+
+func TestGeneratedMemoryOpsHaveSpaces(t *testing.T) {
+	for _, name := range BenchmarkNames {
+		k := MustBenchmark(name)
+		for i := range k.Body {
+			in := &k.Body[i]
+			if isa.IsMemory(in.Op) && in.Space == isa.SpaceNone {
+				t.Fatalf("%s instr %d: memory op without space", name, i)
+			}
+			if !isa.IsMemory(in.Op) && in.Space != isa.SpaceNone {
+				t.Fatalf("%s instr %d: ALU op with space", name, i)
+			}
+		}
+	}
+}
+
+func TestBuilderPropertyAnyValidProfileBuilds(t *testing.T) {
+	// Property: any profile with a normalized mix and positive shape
+	// parameters builds a kernel that passes validation.
+	f := func(intW, fpW, sfuW, ldW uint8, bodyRaw, depRaw uint8) bool {
+		total := float64(intW) + float64(fpW) + float64(sfuW) + float64(ldW)
+		if total == 0 {
+			return true
+		}
+		p := testProfile()
+		p.FracINT = float64(intW) / total
+		p.FracFP = float64(fpW) / total
+		p.FracSFU = float64(sfuW) / total
+		p.FracLDST = 1 - p.FracINT - p.FracFP - p.FracSFU
+		if p.FracLDST < 0 {
+			p.FracLDST = 0
+		}
+		p.BodyLen = 8 + int(bodyRaw%120)
+		p.DepWindow = 1 + int(depRaw%16)
+		k, err := p.Build()
+		if err != nil {
+			return false
+		}
+		return k.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicrokernelFig4(t *testing.T) {
+	k := Fig4Microkernel()
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !k.PerWarpSlice {
+		t.Fatal("Fig. 4 microkernel must be per-warp-slice")
+	}
+	if k.WarpsPerCTA != len(k.Body) {
+		t.Fatalf("one warp per instruction expected: %d warps, %d instrs", k.WarpsPerCTA, len(k.Body))
+	}
+	nInt, nFp := 0, 0
+	for i := range k.Body {
+		switch k.Body[i].Class() {
+		case isa.INT:
+			nInt++
+		case isa.FP:
+			nFp++
+		default:
+			t.Fatalf("unexpected class %s in microkernel", k.Body[i].Class())
+		}
+	}
+	if nInt != 8 || nFp != 4 {
+		t.Fatalf("microkernel mix = %d INT, %d FP; want 8 and 4", nInt, nFp)
+	}
+}
+
+func TestMicrokernelFromSequenceRejectsBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sequence did not panic")
+		}
+	}()
+	MicrokernelFromSequence("x", nil)
+}
+
+func TestMicrokernelRejectsNonALUClasses(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LDST class in microkernel did not panic")
+		}
+	}()
+	MicrokernelFromSequence("x", []isa.Class{isa.LDST})
+}
+
+func TestPerWarpSliceValidation(t *testing.T) {
+	k := Fig4Microkernel()
+	k.WarpsPerCTA = len(k.Body) + 1
+	if err := k.Validate(); err == nil {
+		t.Fatal("per-warp slice with too few instructions accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package kernels
+
+import (
+	"fmt"
+
+	"warpedgates/internal/isa"
+)
+
+// Fig4Microkernel reproduces the paper's Figure 4 walkthrough workload: an
+// active warp set containing a fixed interleaving of independent integer and
+// floating point add instructions, each with latency 4 and initiation
+// interval 1. The two-level scheduler issues them front-to-back, leaving
+// isolated one- and two-cycle bubbles in each pipeline; GATES reorders them
+// into type clusters, coalescing those bubbles into long idle runs.
+//
+// Each warp in the returned kernel executes exactly one instruction whose
+// type follows the paper's sequence. Use it with a one-SM, one-scheduler,
+// one-SP-cluster configuration to match the figure's simplified machine.
+func Fig4Microkernel() *Kernel {
+	// The paper's active-warp-set contents, front of the queue first:
+	// a greedy interleaving of eight INT and four FP instructions.
+	sequence := []isa.Class{
+		isa.INT, isa.INT, isa.FP, isa.INT, isa.FP, isa.INT,
+		isa.INT, isa.INT, isa.INT, isa.FP, isa.FP, isa.INT,
+	}
+	return MicrokernelFromSequence("fig4", sequence)
+}
+
+// MicrokernelFromSequence builds a kernel with one warp per entry of seq;
+// warp i executes a single independent instruction of class seq[i]. The
+// simulator assigns one warp per CTA so the warp count equals len(seq).
+// Only INT and FP classes are supported — the figure's machine has no SFU
+// or LDST traffic.
+func MicrokernelFromSequence(name string, seq []isa.Class) *Kernel {
+	if len(seq) == 0 {
+		panic("kernels: empty microkernel sequence")
+	}
+	// Trick: every warp runs the same single-instruction body, but the class
+	// must differ per warp. We encode the whole sequence in the body and use
+	// warp-indexed iteration: warp w executes body[w] only. The simulator
+	// supports this through the PerWarpSlice flag.
+	body := make([]isa.Instr, len(seq))
+	for i, c := range seq {
+		dst := isa.Reg(8 + i%40)
+		switch c {
+		case isa.INT:
+			body[i] = isa.Instr{Op: isa.OpIADD, Dst: dst, NSrc: 2,
+				Srcs: [3]isa.Reg{0, 1, isa.NoReg}}
+		case isa.FP:
+			body[i] = isa.Instr{Op: isa.OpFADD, Dst: dst, NSrc: 2,
+				Srcs: [3]isa.Reg{2, 3, isa.NoReg}}
+		default:
+			panic(fmt.Sprintf("kernels: microkernel class %s unsupported", c))
+		}
+	}
+	return &Kernel{
+		Name:              name,
+		Body:              body,
+		Iterations:        1,
+		WarpsPerCTA:       len(seq),
+		MaxConcurrentCTAs: 1,
+		CTAsPerSM:         1,
+		WorkingSetLines:   1,
+		NumRegions:        1,
+		PerWarpSlice:      true,
+	}
+}

@@ -1,0 +1,113 @@
+// Package mem implements the memory-subsystem substrate of the simulator:
+// a set-associative L1 data cache per SM, a shared L2, MSHRs, a warp access
+// coalescer, and a bandwidth-limited DRAM latency model. Its only job in this
+// reproduction is to create realistic pending-warp populations and idle
+// windows in the execution pipelines — the raw material every figure in the
+// paper is computed from.
+package mem
+
+import "fmt"
+
+// Line is a cache-line address (byte address with the offset bits dropped).
+type Line uint64
+
+// Cache is a set-associative cache with LRU replacement. It tracks tags only:
+// the simulator never needs data values, just hit/miss timing.
+type Cache struct {
+	sets     int
+	ways     int
+	setMask  uint64
+	tags     []Line // sets*ways entries; line address or invalidLine
+	lru      []uint32
+	clock    uint32
+	accesses uint64
+	misses   uint64
+}
+
+const invalidLine = ^Line(0)
+
+// NewCache builds a cache with the given geometry. Sets must be a power of
+// two and ways positive.
+func NewCache(sets, ways int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: sets must be a positive power of two, got %d", sets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("mem: ways must be positive, got %d", ways))
+	}
+	c := &Cache{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]Line, sets*ways),
+		lru:     make([]uint32, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidLine
+	}
+	return c
+}
+
+// Access looks up line, filling it on a miss (LRU victim), and reports
+// whether the access hit.
+func (c *Cache) Access(line Line) bool {
+	c.accesses++
+	c.clock++
+	base := int(uint64(line)&c.setMask) * c.ways
+	victim, invalid := base, -1
+	oldest := c.lru[base]
+	for i := 0; i < c.ways; i++ {
+		idx := base + i
+		if c.tags[idx] == line {
+			c.lru[idx] = c.clock
+			return true
+		}
+		if c.tags[idx] == invalidLine && invalid < 0 {
+			invalid = idx
+		}
+		if c.lru[idx] < oldest {
+			victim, oldest = idx, c.lru[idx]
+		}
+	}
+	// Prefer filling an invalid way, else evict the least recently used.
+	if invalid >= 0 {
+		victim = invalid
+	}
+	c.misses++
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Probe reports whether line is present without updating LRU or filling.
+func (c *Cache) Probe(line Line) bool {
+	base := int(uint64(line)&c.setMask) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.tags[base+i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns total accesses and misses so far.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset invalidates every line and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = invalidLine
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.accesses = 0
+	c.misses = 0
+}

@@ -1,0 +1,150 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(4, 2)
+	if c.Access(100) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(100) {
+		t.Fatal("second access missed")
+	}
+	acc, miss := c.Stats()
+	if acc != 2 || miss != 1 {
+		t.Fatalf("stats = %d/%d, want 2/1", acc, miss)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct-mapped 2-set cache: lines 0 and 2 share set 0.
+	c := NewCache(2, 1)
+	c.Access(0)
+	c.Access(2) // evicts 0
+	if c.Access(0) {
+		t.Fatal("line 0 should have been evicted")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	// 1-set, 2-way: touching A keeps it resident while B gets evicted.
+	c := NewCache(1, 2)
+	c.Access(10) // A
+	c.Access(20) // B
+	c.Access(10) // A is now MRU
+	c.Access(30) // evicts B (LRU)
+	if !c.Probe(10) {
+		t.Fatal("A evicted despite being MRU")
+	}
+	if c.Probe(20) {
+		t.Fatal("B survived despite being LRU")
+	}
+	if !c.Probe(30) {
+		t.Fatal("newly filled line absent")
+	}
+}
+
+func TestCachePrefersInvalidWays(t *testing.T) {
+	c := NewCache(1, 4)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3) // one way still invalid
+	c.Access(4) // must fill the invalid way, evicting nothing
+	for _, l := range []Line{1, 2, 3, 4} {
+		if !c.Probe(l) {
+			t.Fatalf("line %d missing although capacity was available", l)
+		}
+	}
+}
+
+func TestCacheProbeDoesNotFill(t *testing.T) {
+	c := NewCache(4, 2)
+	if c.Probe(5) {
+		t.Fatal("probe hit on empty cache")
+	}
+	if c.Probe(5) {
+		t.Fatal("probe must not fill")
+	}
+	acc, _ := c.Stats()
+	if acc != 0 {
+		t.Fatal("probe must not count as access")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(4, 2)
+	c.Access(1)
+	c.Reset()
+	if c.Probe(1) {
+		t.Fatal("line survived reset")
+	}
+	if acc, miss := c.Stats(); acc != 0 || miss != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestCacheMissRate(t *testing.T) {
+	c := NewCache(4, 2)
+	if c.MissRate() != 0 {
+		t.Fatal("empty cache miss rate should be 0")
+	}
+	c.Access(1)
+	c.Access(1)
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache(0, 1) },
+		func() { NewCache(3, 1) },
+		func() { NewCache(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCacheWorkingSetProperty(t *testing.T) {
+	// Property: a working set no larger than capacity always hits after the
+	// first pass, regardless of the access permutation within the set.
+	f := func(seed uint8, sizeRaw uint8) bool {
+		c := NewCache(8, 2) // capacity 16 lines
+		size := 1 + int(sizeRaw%16)
+		// First pass: fill.
+		for i := 0; i < size; i++ {
+			c.Access(Line(i))
+		}
+		// Second pass in a rotated order: must all hit.
+		start := int(seed) % size
+		for i := 0; i < size; i++ {
+			if !c.Access(Line((start + i) % size)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheStreamingMissesProperty(t *testing.T) {
+	// Property: a strictly streaming scan (every line new) never hits.
+	c := NewCache(32, 4)
+	for i := 0; i < 10000; i++ {
+		if c.Access(Line(i)) {
+			t.Fatalf("streaming access %d hit", i)
+		}
+	}
+}

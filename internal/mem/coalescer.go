@@ -1,0 +1,90 @@
+package mem
+
+import (
+	"warpedgates/internal/isa"
+	"warpedgates/internal/stats"
+)
+
+// Coalescer converts one warp memory instruction into the set of cache-line
+// transactions the hardware would issue, following Fermi's per-128B-segment
+// coalescing rules. Fully coalesced warps touch one line; strided and random
+// patterns fan out into more transactions, which both occupies the LD/ST
+// port longer and raises miss traffic — exactly the mechanism that pushes
+// warps into the pending set in memory-divergent benchmarks (bfs, MUM).
+type Coalescer struct {
+	// MaxTransactions caps the fan-out of a single warp access. Real Fermi
+	// can issue up to 32 transactions; the default cap of 8 preserves the
+	// latency/bandwidth contrast between patterns at far lower simulation
+	// cost (documented substitution, DESIGN.md §7).
+	MaxTransactions int
+}
+
+// NewCoalescer returns a coalescer with the default transaction cap.
+func NewCoalescer() *Coalescer { return &Coalescer{MaxTransactions: 8} }
+
+// Transactions returns the distinct line addresses accessed by one warp
+// executing a memory instruction with the given pattern. The base index
+// identifies the warp's position in its region's working set; rng drives
+// random patterns deterministically.
+func (c *Coalescer) Transactions(pattern isa.AccessPattern, region uint8, base uint64,
+	workingLines int, rng *stats.SplitMix64) []Line {
+	cap := c.MaxTransactions
+	if cap <= 0 {
+		cap = 8
+	}
+	ws := uint64(workingLines)
+	if ws == 0 {
+		ws = 1
+	}
+	mkLine := func(idx uint64) Line {
+		// Spread regions far apart in the line-address space so they never
+		// alias in caches.
+		return Line(uint64(region)<<40 | (idx % ws))
+	}
+	switch pattern {
+	case isa.PatternCoalesced:
+		return []Line{mkLine(base)}
+	case isa.PatternStrided2:
+		n := minInt(2, cap)
+		out := make([]Line, n)
+		for i := 0; i < n; i++ {
+			out[i] = mkLine(base + uint64(i))
+		}
+		return out
+	case isa.PatternStrided8:
+		n := minInt(8, cap)
+		out := make([]Line, n)
+		for i := 0; i < n; i++ {
+			out[i] = mkLine(base + uint64(i)*3)
+		}
+		return out
+	case isa.PatternRandom:
+		n := minInt(8, cap)
+		out := make([]Line, 0, n)
+		seen := make(map[Line]struct{}, n)
+		for len(out) < n {
+			l := mkLine(rng.Uint64() % ws)
+			if _, dup := seen[l]; dup {
+				// Duplicate lines coalesce into one transaction; with a
+				// small working set this converges to few transactions,
+				// which is the correct hardware behaviour.
+				if len(seen) >= workingLines || len(seen) >= n {
+					break
+				}
+				continue
+			}
+			seen[l] = struct{}{}
+			out = append(out, l)
+		}
+		return out
+	default:
+		return []Line{mkLine(base)}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

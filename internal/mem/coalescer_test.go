@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"testing"
+
+	"warpedgates/internal/isa"
+	"warpedgates/internal/stats"
+)
+
+func TestCoalescedIsOneTransaction(t *testing.T) {
+	c := NewCoalescer()
+	rng := stats.NewSplitMix64(1)
+	lines := c.Transactions(isa.PatternCoalesced, 0, 5, 1024, rng)
+	if len(lines) != 1 {
+		t.Fatalf("coalesced access produced %d transactions", len(lines))
+	}
+}
+
+func TestStridedFanOut(t *testing.T) {
+	c := NewCoalescer()
+	rng := stats.NewSplitMix64(1)
+	if got := len(c.Transactions(isa.PatternStrided2, 0, 0, 1024, rng)); got != 2 {
+		t.Fatalf("strided2 produced %d transactions, want 2", got)
+	}
+	if got := len(c.Transactions(isa.PatternStrided8, 0, 0, 1024, rng)); got != 8 {
+		t.Fatalf("strided8 produced %d transactions, want 8", got)
+	}
+}
+
+func TestRandomTransactionsDistinct(t *testing.T) {
+	c := NewCoalescer()
+	rng := stats.NewSplitMix64(99)
+	lines := c.Transactions(isa.PatternRandom, 1, 0, 4096, rng)
+	seen := map[Line]bool{}
+	for _, l := range lines {
+		if seen[l] {
+			t.Fatalf("duplicate line %#x in random transactions", uint64(l))
+		}
+		seen[l] = true
+	}
+	if len(lines) == 0 || len(lines) > 8 {
+		t.Fatalf("random fan-out %d out of range", len(lines))
+	}
+}
+
+func TestRandomTinyWorkingSetTerminates(t *testing.T) {
+	c := NewCoalescer()
+	rng := stats.NewSplitMix64(7)
+	lines := c.Transactions(isa.PatternRandom, 0, 0, 2, rng)
+	if len(lines) == 0 || len(lines) > 2 {
+		t.Fatalf("tiny working set produced %d transactions", len(lines))
+	}
+}
+
+func TestTransactionCap(t *testing.T) {
+	c := &Coalescer{MaxTransactions: 3}
+	rng := stats.NewSplitMix64(1)
+	if got := len(c.Transactions(isa.PatternStrided8, 0, 0, 1024, rng)); got > 3 {
+		t.Fatalf("cap ignored: %d transactions", got)
+	}
+	// A non-positive cap falls back to the default.
+	c = &Coalescer{}
+	if got := len(c.Transactions(isa.PatternStrided8, 0, 0, 1024, rng)); got != 8 {
+		t.Fatalf("default cap should allow 8, got %d", got)
+	}
+}
+
+func TestRegionsNeverAlias(t *testing.T) {
+	c := NewCoalescer()
+	rng := stats.NewSplitMix64(3)
+	a := c.Transactions(isa.PatternCoalesced, 0, 7, 64, rng)
+	b := c.Transactions(isa.PatternCoalesced, 1, 7, 64, rng)
+	if a[0] == b[0] {
+		t.Fatal("same index in different regions aliased")
+	}
+}
+
+func TestWorkingSetWrap(t *testing.T) {
+	c := NewCoalescer()
+	rng := stats.NewSplitMix64(3)
+	// base beyond working set must wrap, staying within the region's lines.
+	lines := c.Transactions(isa.PatternCoalesced, 2, 1<<20, 64, rng)
+	idx := uint64(lines[0]) & ((1 << 40) - 1)
+	if idx >= 64 {
+		t.Fatalf("line index %d outside working set", idx)
+	}
+}

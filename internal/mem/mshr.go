@@ -1,0 +1,77 @@
+package mem
+
+import "fmt"
+
+// MSHR models the miss-status holding registers of one SM's L1: a bounded
+// table of outstanding miss lines, each tagged with the cycle its fill
+// returns. A full table is a structural hazard that blocks further memory
+// issue — one of the mechanisms that parks warps in the pending set of the
+// two-level scheduler. Because the simulator resolves access timing at issue,
+// each entry carries its completion cycle, and entries expire when the
+// simulated clock passes it.
+type MSHR struct {
+	capacity int
+	pending  map[Line]int64 // line -> fill completion cycle
+	merges   uint64
+	allocs   uint64
+	full     uint64 // times allocation failed because the table was full
+}
+
+// NewMSHR returns an MSHR table with the given number of entries.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("mem: MSHR capacity must be positive, got %d", capacity))
+	}
+	return &MSHR{capacity: capacity, pending: make(map[Line]int64, capacity)}
+}
+
+// Lookup returns the completion cycle of an outstanding miss to line, if any.
+// A secondary miss to a pending line merges with it and completes together —
+// real MSHR merge semantics.
+func (m *MSHR) Lookup(line Line) (completeAt int64, pending bool) {
+	c, ok := m.pending[line]
+	return c, ok
+}
+
+// HasRoom reports whether n new (non-merging) entries can be allocated.
+func (m *MSHR) HasRoom(n int) bool { return len(m.pending)+n <= m.capacity }
+
+// Allocate records an outstanding miss for line completing at completeAt.
+// It panics if the table is full or the line is already pending; callers
+// must Lookup and HasRoom first.
+func (m *MSHR) Allocate(line Line, completeAt int64) {
+	if _, ok := m.pending[line]; ok {
+		panic(fmt.Sprintf("mem: MSHR double allocation for line %#x", uint64(line)))
+	}
+	if len(m.pending) >= m.capacity {
+		panic("mem: MSHR overflow — caller must check HasRoom")
+	}
+	m.pending[line] = completeAt
+	m.allocs++
+}
+
+// NoteMerge counts a secondary miss merged into an existing entry.
+func (m *MSHR) NoteMerge() { m.merges++ }
+
+// NoteFull records a structural stall caused by a full table.
+func (m *MSHR) NoteFull() { m.full++ }
+
+// ExpireBefore releases every entry whose fill returned at or before now.
+func (m *MSHR) ExpireBefore(now int64) {
+	for line, till := range m.pending {
+		if till <= now {
+			delete(m.pending, line)
+		}
+	}
+}
+
+// InFlight returns the number of outstanding lines.
+func (m *MSHR) InFlight() int { return len(m.pending) }
+
+// Capacity returns the table size.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Stats returns allocation, merge and full-stall counters.
+func (m *MSHR) Stats() (allocs, merges, fullStalls uint64) {
+	return m.allocs, m.merges, m.full
+}

@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMSHRAllocateLookupExpire(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(10, 100)
+	if done, ok := m.Lookup(10); !ok || done != 100 {
+		t.Fatalf("Lookup = %v,%v", done, ok)
+	}
+	if m.InFlight() != 1 {
+		t.Fatalf("InFlight = %d", m.InFlight())
+	}
+	m.ExpireBefore(99)
+	if m.InFlight() != 1 {
+		t.Fatal("entry expired early")
+	}
+	m.ExpireBefore(100)
+	if m.InFlight() != 0 {
+		t.Fatal("entry not expired at its completion cycle")
+	}
+	if _, ok := m.Lookup(10); ok {
+		t.Fatal("expired entry still pending")
+	}
+}
+
+func TestMSHRHasRoom(t *testing.T) {
+	m := NewMSHR(2)
+	if !m.HasRoom(2) {
+		t.Fatal("empty table should have room for 2")
+	}
+	if m.HasRoom(3) {
+		t.Fatal("room for more than capacity")
+	}
+	m.Allocate(1, 10)
+	if !m.HasRoom(1) || m.HasRoom(2) {
+		t.Fatal("HasRoom wrong after one allocation")
+	}
+}
+
+func TestMSHRDoubleAllocatePanics(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double allocation did not panic")
+		}
+	}()
+	m.Allocate(1, 20)
+}
+
+func TestMSHROverflowPanics(t *testing.T) {
+	m := NewMSHR(1)
+	m.Allocate(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	m.Allocate(2, 10)
+}
+
+func TestMSHRZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewMSHR(0)
+}
+
+func TestMSHRStats(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(1, 5)
+	m.NoteMerge()
+	m.NoteMerge()
+	m.NoteFull()
+	allocs, merges, fulls := m.Stats()
+	if allocs != 1 || merges != 2 || fulls != 1 {
+		t.Fatalf("stats = %d/%d/%d", allocs, merges, fulls)
+	}
+}
+
+func TestMSHRNeverExceedsCapacityProperty(t *testing.T) {
+	// Property: under random allocate/expire traffic guarded by HasRoom,
+	// occupancy never exceeds capacity and Lookup agrees with allocations.
+	f := func(ops []uint16) bool {
+		m := NewMSHR(8)
+		clock := int64(0)
+		for _, op := range ops {
+			clock++
+			line := Line(op % 32)
+			if _, pending := m.Lookup(line); pending {
+				m.NoteMerge()
+				continue
+			}
+			if !m.HasRoom(1) {
+				m.ExpireBefore(clock + 50) // drain some
+				continue
+			}
+			m.Allocate(line, clock+int64(op%100))
+			if m.InFlight() > m.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

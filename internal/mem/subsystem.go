@@ -1,0 +1,180 @@
+package mem
+
+import (
+	"fmt"
+
+	"warpedgates/internal/config"
+)
+
+// Result describes the timing outcome of one warp memory access: the cycle
+// the value becomes available and what levels it hit, for statistics.
+type Result struct {
+	CompleteAt   int64 // absolute cycle the last transaction returns
+	Transactions int
+	L1Misses     int
+	L2Misses     int
+}
+
+// GPUMem is the device-level memory system shared by all SMs: a unified L2
+// and a channel-partitioned DRAM model with bounded bandwidth. Access timing
+// is computed at issue time, which keeps the model deterministic and cheap
+// while still producing realistic latency spreads and queueing under load.
+type GPUMem struct {
+	cfg      config.Config
+	l2       *Cache
+	chanFree []int64 // per-DRAM-channel next-free cycle
+	// dramService is the channel occupancy per request; together with the
+	// channel count it sets peak DRAM bandwidth.
+	dramService int64
+
+	l2Accesses uint64
+	l2Misses   uint64
+	dramReqs   uint64
+	queueDelay uint64 // accumulated cycles requests waited for a channel
+}
+
+// NewGPUMem builds the device-level memory system for cfg.
+func NewGPUMem(cfg config.Config) *GPUMem {
+	return &GPUMem{
+		cfg:         cfg,
+		l2:          NewCache(cfg.L2Sets, cfg.L2Ways),
+		chanFree:    make([]int64, cfg.DRAMSlots),
+		dramService: 4,
+	}
+}
+
+// AccessLine computes the completion cycle of one line transaction entering
+// the device at cycle now after missing an SM's L1.
+func (g *GPUMem) AccessLine(now int64, line Line) (completeAt int64, l2Miss bool) {
+	g.l2Accesses++
+	if g.l2.Access(line) {
+		return now + int64(g.cfg.L2HitLatency), false
+	}
+	g.l2Misses++
+	g.dramReqs++
+	ch := int(uint64(line) % uint64(len(g.chanFree)))
+	start := now
+	if g.chanFree[ch] > start {
+		g.queueDelay += uint64(g.chanFree[ch] - start)
+		start = g.chanFree[ch]
+	}
+	g.chanFree[ch] = start + g.dramService
+	return start + int64(g.cfg.DRAMLatency), true
+}
+
+// Stats returns L2 and DRAM counters.
+func (g *GPUMem) Stats() (l2Acc, l2Miss, dramReqs, queueDelay uint64) {
+	return g.l2Accesses, g.l2Misses, g.dramReqs, g.queueDelay
+}
+
+// SMPort is one SM's private view of the memory system: its L1 data cache,
+// MSHR table, shared-memory latency, and a handle to the device-level L2/DRAM.
+type SMPort struct {
+	cfg  config.Config
+	l1   *Cache
+	mshr *MSHR
+	gpu  *GPUMem
+
+	sharedAccesses uint64
+	globalAccesses uint64
+	stallsMSHR     uint64
+}
+
+// NewSMPort builds the per-SM memory port.
+func NewSMPort(cfg config.Config, gpu *GPUMem) *SMPort {
+	if gpu == nil {
+		panic("mem: NewSMPort requires a device-level memory system")
+	}
+	return &SMPort{
+		cfg:  cfg,
+		l1:   NewCache(cfg.L1Sets, cfg.L1Ways),
+		mshr: NewMSHR(cfg.MSHRPerSM),
+		gpu:  gpu,
+	}
+}
+
+// Expire releases MSHR entries whose fills have returned by cycle now; the
+// simulator calls it once per cycle before issue.
+func (p *SMPort) Expire(now int64) { p.mshr.ExpireBefore(now) }
+
+// SharedAccess returns the completion cycle of a shared-memory access issued
+// at cycle now. Shared memory is a fixed-latency scratchpad; bank conflicts
+// are folded into the configured latency.
+func (p *SMPort) SharedAccess(now int64) int64 {
+	p.sharedAccesses++
+	return now + int64(p.cfg.SharedLatency)
+}
+
+// CanIssueGlobal reports whether a global access with the given transaction
+// fan-out can be accepted this cycle. Admission is conservative: every
+// transaction without an outstanding fill is assumed to need a fresh MSHR
+// entry, even if it currently probes as an L1 hit, because an earlier
+// transaction of the same warp access can evict that line before it is
+// serviced. Real MSHR admission control is similarly worst-case.
+func (p *SMPort) CanIssueGlobal(lines []Line) bool {
+	need := 0
+	for _, l := range lines {
+		if _, pending := p.mshr.Lookup(l); !pending {
+			need++
+		}
+	}
+	if !p.mshr.HasRoom(need) {
+		p.mshr.NoteFull()
+		p.stallsMSHR++
+		return false
+	}
+	return true
+}
+
+// GlobalAccess issues one warp global access covering the given lines at
+// cycle now and returns its timing. Callers must have checked CanIssueGlobal
+// in the same cycle.
+func (p *SMPort) GlobalAccess(now int64, lines []Line) Result {
+	res := Result{Transactions: len(lines)}
+	latest := now + int64(p.cfg.L1HitLatency)
+	p.globalAccesses++
+	for _, l := range lines {
+		if done, pending := p.mshr.Lookup(l); pending {
+			// Secondary miss: merge with the outstanding fill.
+			p.mshr.NoteMerge()
+			res.L1Misses++
+			if done > latest {
+				latest = done
+			}
+			continue
+		}
+		if p.l1.Access(l) {
+			continue // L1 hit: covered by the base hit latency
+		}
+		res.L1Misses++
+		done, l2miss := p.gpu.AccessLine(now, l)
+		if l2miss {
+			res.L2Misses++
+		}
+		p.mshr.Allocate(l, done)
+		if done > latest {
+			latest = done
+		}
+	}
+	res.CompleteAt = latest
+	return res
+}
+
+// Occupancy returns the number of in-flight miss entries.
+func (p *SMPort) Occupancy() int { return p.mshr.InFlight() }
+
+// L1 exposes the L1 cache for statistics.
+func (p *SMPort) L1() *Cache { return p.l1 }
+
+// MSHRStats returns the MSHR's allocation, merge and full-stall counters.
+func (p *SMPort) MSHRStats() (allocs, merges, fullStalls uint64) { return p.mshr.Stats() }
+
+// Stats returns shared/global access counts and MSHR-full stalls.
+func (p *SMPort) Stats() (shared, global, mshrStalls uint64) {
+	return p.sharedAccesses, p.globalAccesses, p.stallsMSHR
+}
+
+// String summarizes the port state.
+func (p *SMPort) String() string {
+	return fmt.Sprintf("SMPort{l1miss=%.2f inflight=%d}", p.l1.MissRate(), p.mshr.InFlight())
+}

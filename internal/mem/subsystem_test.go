@@ -1,0 +1,146 @@
+package mem
+
+import (
+	"testing"
+
+	"warpedgates/internal/config"
+)
+
+func testCfg() config.Config {
+	c := config.Small()
+	return c
+}
+
+func TestSharedAccessLatency(t *testing.T) {
+	cfg := testCfg()
+	p := NewSMPort(cfg, NewGPUMem(cfg))
+	if got := p.SharedAccess(100); got != 100+int64(cfg.SharedLatency) {
+		t.Fatalf("shared completion = %d", got)
+	}
+}
+
+func TestGlobalAccessL1HitLatency(t *testing.T) {
+	cfg := testCfg()
+	p := NewSMPort(cfg, NewGPUMem(cfg))
+	lines := []Line{42}
+	p.GlobalAccess(0, lines) // cold miss fills L1
+	p.Expire(1 << 30)        // drain the MSHR
+	res := p.GlobalAccess(1<<30, lines)
+	if res.L1Misses != 0 {
+		t.Fatalf("expected L1 hit, got %d misses", res.L1Misses)
+	}
+	if got := res.CompleteAt - (1 << 30); got != int64(cfg.L1HitLatency) {
+		t.Fatalf("hit latency = %d, want %d", got, cfg.L1HitLatency)
+	}
+}
+
+func TestGlobalAccessMissLatencyOrdering(t *testing.T) {
+	cfg := testCfg()
+	gpu := NewGPUMem(cfg)
+	p := NewSMPort(cfg, gpu)
+	// Cold miss goes L1 -> L2 miss -> DRAM.
+	res := p.GlobalAccess(0, []Line{7})
+	if res.L1Misses != 1 || res.L2Misses != 1 {
+		t.Fatalf("cold access misses = %d/%d", res.L1Misses, res.L2Misses)
+	}
+	if res.CompleteAt < int64(cfg.DRAMLatency) {
+		t.Fatalf("DRAM access completed too fast: %d", res.CompleteAt)
+	}
+	// A different SM missing the same line finds it in L2.
+	p2 := NewSMPort(cfg, gpu)
+	res2 := p2.GlobalAccess(0, []Line{7})
+	if res2.L2Misses != 0 {
+		t.Fatal("second SM should hit in shared L2")
+	}
+	if res2.CompleteAt != int64(cfg.L2HitLatency) {
+		t.Fatalf("L2 hit completion = %d, want %d", res2.CompleteAt, cfg.L2HitLatency)
+	}
+}
+
+func TestMSHRMergeSharesCompletion(t *testing.T) {
+	cfg := testCfg()
+	p := NewSMPort(cfg, NewGPUMem(cfg))
+	first := p.GlobalAccess(0, []Line{9})
+	// Second access to the same in-flight line merges and completes with
+	// (not after) the primary.
+	second := p.GlobalAccess(5, []Line{9})
+	if second.CompleteAt > first.CompleteAt {
+		t.Fatalf("merged access completes at %d, after primary %d", second.CompleteAt, first.CompleteAt)
+	}
+	_, merges, _ := p.MSHRStats()
+	if merges != 1 {
+		t.Fatalf("merges = %d, want 1", merges)
+	}
+}
+
+func TestCanIssueGlobalRespectsMSHRCapacity(t *testing.T) {
+	cfg := testCfg()
+	cfg.MSHRPerSM = 2
+	p := NewSMPort(cfg, NewGPUMem(cfg))
+	if !p.CanIssueGlobal([]Line{1, 2}) {
+		t.Fatal("2 lines should fit 2 MSHRs")
+	}
+	p.GlobalAccess(0, []Line{1, 2})
+	if p.CanIssueGlobal([]Line{3}) {
+		t.Fatal("full MSHR accepted a new line")
+	}
+	// Merging into pending lines needs no new entry.
+	if !p.CanIssueGlobal([]Line{1, 2}) {
+		t.Fatal("merge-only access rejected")
+	}
+	// After expiry, capacity returns.
+	p.Expire(1 << 30)
+	if !p.CanIssueGlobal([]Line{3}) {
+		t.Fatal("MSHR capacity not reclaimed after expiry")
+	}
+}
+
+func TestDRAMChannelQueueing(t *testing.T) {
+	cfg := testCfg()
+	cfg.DRAMSlots = 1 // single channel: all requests serialize
+	gpu := NewGPUMem(cfg)
+	c1, _ := gpu.AccessLine(0, 1000)
+	c2, _ := gpu.AccessLine(0, 2000)
+	if c2 <= c1 {
+		t.Fatalf("queued request should finish later: %d vs %d", c2, c1)
+	}
+	_, _, dram, queue := gpu.Stats()
+	if dram != 2 || queue == 0 {
+		t.Fatalf("dram=%d queue=%d", dram, queue)
+	}
+}
+
+func TestGPUMemL2Caches(t *testing.T) {
+	cfg := testCfg()
+	gpu := NewGPUMem(cfg)
+	gpu.AccessLine(0, 5)
+	done, miss := gpu.AccessLine(100, 5)
+	if miss {
+		t.Fatal("second access should hit L2")
+	}
+	if done != 100+int64(cfg.L2HitLatency) {
+		t.Fatalf("L2 hit completion = %d", done)
+	}
+}
+
+func TestNewSMPortRequiresGPU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil GPU accepted")
+		}
+	}()
+	NewSMPort(testCfg(), nil)
+}
+
+func TestOccupancyTracksExpiry(t *testing.T) {
+	cfg := testCfg()
+	p := NewSMPort(cfg, NewGPUMem(cfg))
+	p.GlobalAccess(0, []Line{1, 2, 3})
+	if p.Occupancy() != 3 {
+		t.Fatalf("occupancy = %d, want 3", p.Occupancy())
+	}
+	p.Expire(1 << 30)
+	if p.Occupancy() != 0 {
+		t.Fatalf("occupancy = %d after expiry", p.Occupancy())
+	}
+}

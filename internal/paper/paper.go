@@ -1,0 +1,114 @@
+// Package paper records the values the MICRO-46 paper reports, read from its
+// text and figures, so the reproduction can print paper-vs-measured
+// comparisons mechanically (the `warpedgates compare` subcommand and the
+// EXPERIMENTS.md record). Values read off figure axes are approximate to the
+// precision a careful reader can extract.
+package paper
+
+// TechValues holds one per-technique series of suite-level numbers, keyed by
+// the paper's technique names (matching core.Technique.String()).
+type TechValues map[string]float64
+
+// Fig9aINTSavings is the paper's suite-average INT static energy savings
+// (Figure 9a; the 20.1% and 31.6% endpoints are printed on the figure).
+var Fig9aINTSavings = TechValues{
+	"ConvPG":        0.201,
+	"GATES":         0.215,
+	"NaiveBlackout": 0.278,
+	"CoordBlackout": 0.315,
+	"WarpedGates":   0.316,
+}
+
+// Fig9bFPSavings is the paper's suite-average FP static energy savings
+// (Figure 9b; 31.4% and 46.5% printed on the figure).
+var Fig9bFPSavings = TechValues{
+	"ConvPG":        0.314,
+	"GATES":         0.352,
+	"NaiveBlackout": 0.411,
+	"CoordBlackout": 0.456,
+	"WarpedGates":   0.465,
+}
+
+// Fig10Performance is the paper's geomean normalized performance (§7.4 text:
+// ConvPG and GATES ≈1% overhead, Naive 5%, Coordinated 2%, Warped Gates
+// "virtually the same performance overhead as conventional power gating").
+var Fig10Performance = TechValues{
+	"ConvPG":        0.99,
+	"GATES":         0.99,
+	"NaiveBlackout": 0.95,
+	"CoordBlackout": 0.98,
+	"WarpedGates":   0.99,
+}
+
+// Fig8bCompensated is the paper's mean share of cycles in the compensated
+// state (§7.2 text: 20.9%, 22.6% and 33.5%).
+var Fig8bCompensated = TechValues{
+	"ConvPG":      0.209,
+	"GATES":       0.226,
+	"WarpedGates": 0.335,
+}
+
+// Fig8cWakeups is the paper's wakeup count normalized to ConvPG (§7.2 text:
+// Coordinated Blackout −26%, Warped Gates −46%; GATES "increases the number
+// of wakeups in some cases").
+var Fig8cWakeups = TechValues{
+	"GATES":         1.0,
+	"CoordBlackout": 0.74,
+	"WarpedGates":   0.54,
+}
+
+// Fig3Hotspot is the paper's idle-period region split for hotspot
+// (printed on Figure 3): wasted / net-loss / net-savings fractions.
+var Fig3Hotspot = map[string][3]float64{
+	"ConvPG":        {0.834, 0.101, 0.065},
+	"GATES":         {0.590, 0.221, 0.189},
+	"NaiveBlackout": {0.543, 0.000, 0.457},
+}
+
+// Fig11aINTSavings is the paper's Figure 11a INT reading: at BET 19, ConvPG
+// saves 17% and Warped Gates 33% (printed in §7.6); BET 9/14 read off axes.
+var Fig11aINTSavings = map[string]map[int]float64{
+	"ConvPG":      {9: 0.25, 14: 0.201, 19: 0.17},
+	"WarpedGates": {9: 0.33, 14: 0.316, 19: 0.33},
+}
+
+// Fig11bINTSavings is the paper's Figure 11b INT reading: at wakeup 9,
+// ConvPG saves 6% and Warped Gates 33% (§7.6 text).
+var Fig11bINTSavings = map[string]map[int]float64{
+	"ConvPG":      {3: 0.201, 6: 0.13, 9: 0.06},
+	"WarpedGates": {3: 0.316, 6: 0.33, 9: 0.33},
+}
+
+// Fig6PearsonByBenchmark is the per-benchmark correlation coefficient the
+// paper prints in Figure 6's legend.
+var Fig6PearsonByBenchmark = map[string]float64{
+	"heartwall": 0.99, "NN": 0.99, "backprop": 0.99, "hotspot": 0.99,
+	"nw": 0.99, "btree": 0.99, "gaussian": 0.99, "bfs": 0.98,
+	"srad": 0.97, "lbm": 0.96, "cutcp": 0.90, "LIB": 0.60,
+	"kmeans": -0.30, "MUM": -0.28, "lavaMD": -0.24, "mri": 0.21,
+	"WP": 0.24, "sgemm": 0.06,
+}
+
+// HardwareOverhead records §7.5's synthesized counter costs.
+var HardwareOverhead = struct {
+	AreaUM2, AreaFrac, DynWatts, DynFrac, LeakWatts, LeakFrac float64
+}{
+	AreaUM2: 1210.8, AreaFrac: 0.00003, DynWatts: 1.55e-3, DynFrac: 0.0008,
+	LeakWatts: 1.21e-5, LeakFrac: 0.000007,
+}
+
+// Fig1b records the paper's Figure 1b energy splits (read off the stacked
+// bars): fraction of the unit's no-gating energy that is static, and the
+// ConvPG bars' overhead fractions.
+var Fig1b = struct {
+	BaselineINTStatic float64
+	BaselineFPStatic  float64
+	ConvPGINTStatic   float64
+	ConvPGINTOverhead float64
+	ConvPGFPStatic    float64
+	ConvPGFPOverhead  float64
+}{
+	BaselineINTStatic: 0.50, BaselineFPStatic: 0.90,
+	ConvPGINTStatic: 0.31, ConvPGINTOverhead: 0.11,
+	ConvPGFPStatic: 0.61, ConvPGFPOverhead: 0.29,
+}

@@ -1,0 +1,69 @@
+package paper
+
+import "testing"
+
+func TestHeadlineNumbers(t *testing.T) {
+	// The two numbers in the paper's abstract.
+	if Fig9aINTSavings["WarpedGates"] != 0.316 {
+		t.Error("INT headline drifted from the abstract's 31.6%")
+	}
+	if Fig9bFPSavings["WarpedGates"] != 0.465 {
+		t.Error("FP headline drifted from the abstract's 46.5%")
+	}
+}
+
+func TestSeriesCoverAllTechniques(t *testing.T) {
+	techs := []string{"ConvPG", "GATES", "NaiveBlackout", "CoordBlackout", "WarpedGates"}
+	for _, series := range []TechValues{Fig9aINTSavings, Fig9bFPSavings, Fig10Performance} {
+		for _, name := range techs {
+			if _, ok := series[name]; !ok {
+				t.Errorf("series missing technique %s", name)
+			}
+		}
+	}
+}
+
+func TestValuesInRange(t *testing.T) {
+	for name, v := range Fig9aINTSavings {
+		if v <= 0 || v >= 1 {
+			t.Errorf("Fig9a %s = %v out of (0,1)", name, v)
+		}
+	}
+	for name, v := range Fig10Performance {
+		if v <= 0.8 || v > 1 {
+			t.Errorf("Fig10 %s = %v implausible", name, v)
+		}
+	}
+	for name, r := range Fig6PearsonByBenchmark {
+		if r < -1 || r > 1 {
+			t.Errorf("Fig6 %s r = %v out of [-1,1]", name, r)
+		}
+	}
+}
+
+func TestFig3RegionsSumToOne(t *testing.T) {
+	for tech, regions := range Fig3Hotspot {
+		sum := regions[0] + regions[1] + regions[2]
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("Fig3 %s regions sum to %v", tech, sum)
+		}
+	}
+}
+
+func TestFig6CoversSuite(t *testing.T) {
+	if len(Fig6PearsonByBenchmark) != 18 {
+		t.Fatalf("Fig6 legend has %d benchmarks, want 18", len(Fig6PearsonByBenchmark))
+	}
+}
+
+func TestOrderingsMatchPaperNarrative(t *testing.T) {
+	// Internal consistency of the recorded values with the paper's claims.
+	if !(Fig9aINTSavings["ConvPG"] < Fig9aINTSavings["NaiveBlackout"] &&
+		Fig9aINTSavings["NaiveBlackout"] < Fig9aINTSavings["CoordBlackout"] &&
+		Fig9aINTSavings["CoordBlackout"] <= Fig9aINTSavings["WarpedGates"]) {
+		t.Error("Fig9a ordering inconsistent with the paper narrative")
+	}
+	if Fig10Performance["NaiveBlackout"] >= Fig10Performance["CoordBlackout"] {
+		t.Error("Fig10 Naive should be slower than Coordinated")
+	}
+}

@@ -1,0 +1,57 @@
+package power
+
+import "warpedgates/internal/stats"
+
+// GTX480 chip-level power constants, as the paper reports them from
+// GPUWattch in §7.3 and §7.5. Units: watts, square millimeters.
+const (
+	// OnChipLeakageWatts is the total GTX480 on-chip leakage power.
+	OnChipLeakageWatts = 26.87
+	// IntUnitsLeakageWatts is the leakage attributed to all integer units.
+	IntUnitsLeakageWatts = 0.00557
+	// FPUnitsLeakageWatts is the leakage attributed to all FP units.
+	FPUnitsLeakageWatts = 4.40
+	// ExecUnitsLeakageShare is the fraction of on-chip leakage consumed by
+	// the execution units (paper: "execution units account for 16.38% of
+	// on-chip leakage power").
+	ExecUnitsLeakageShare = 0.1638
+
+	// SMAreaMM2 is one SM's area as extracted from GPUWattch.
+	SMAreaMM2 = 48.1
+	// SMDynamicWatts and SMLeakageWatts are one SM's power.
+	SMDynamicWatts = 1.92
+	SMLeakageWatts = 1.61
+)
+
+// ChipLevelEstimate reproduces the paper's §7.3 arithmetic: given measured
+// static-energy savings for the execution units and an assumed share of
+// leakage in total on-chip power, estimate total on-chip power savings.
+type ChipLevelEstimate struct {
+	ExecStaticSavings  float64 // input: measured exec-unit static savings
+	LeakageShareOfChip float64 // assumption: leakage / total on-chip power
+	TotalChipSavings   float64 // result
+}
+
+// EstimateChipSavings runs the estimate. The paper evaluates leakage shares
+// of 33% (today) and 50% (projected scaling).
+func EstimateChipSavings(execStaticSavings, leakageShareOfChip float64) ChipLevelEstimate {
+	return ChipLevelEstimate{
+		ExecStaticSavings:  execStaticSavings,
+		LeakageShareOfChip: leakageShareOfChip,
+		TotalChipSavings:   execStaticSavings * ExecUnitsLeakageShare * leakageShareOfChip,
+	}
+}
+
+// ChipSavingsTable renders the paper's two scenarios for a measured savings
+// range [lo, hi] (the paper uses 30%–45%).
+func ChipSavingsTable(lo, hi float64) *stats.Table {
+	t := stats.NewTable("Chip-level on-chip power savings estimate (paper §7.3)",
+		"leakage share", "exec savings", "chip savings")
+	for _, share := range []float64{0.33, 0.50} {
+		for _, s := range []float64{lo, hi} {
+			e := EstimateChipSavings(s, share)
+			t.AddRowf(share, s, e.TotalChipSavings)
+		}
+	}
+	return t
+}

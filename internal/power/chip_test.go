@@ -1,0 +1,50 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEstimateChipSavingsMatchesPaperArithmetic(t *testing.T) {
+	// §7.3: with leakage at 33% of on-chip power and 30%-45% exec-unit
+	// static savings, total savings are 1.62%-2.43%; at 50% leakage,
+	// 2.46%-3.69%.
+	cases := []struct {
+		share, savings, want float64
+	}{
+		{0.33, 0.30, 0.0162},
+		{0.33, 0.45, 0.0243},
+		{0.50, 0.30, 0.0246},
+		{0.50, 0.45, 0.0369},
+	}
+	for _, c := range cases {
+		got := EstimateChipSavings(c.savings, c.share).TotalChipSavings
+		if math.Abs(got-c.want) > 0.0002 {
+			t.Errorf("share %.2f savings %.2f: got %.4f, want %.4f", c.share, c.savings, got, c.want)
+		}
+	}
+}
+
+func TestChipConstantsMatchPaper(t *testing.T) {
+	if OnChipLeakageWatts != 26.87 {
+		t.Error("on-chip leakage constant drifted from the paper")
+	}
+	if ExecUnitsLeakageShare != 0.1638 {
+		t.Error("exec-unit leakage share drifted from the paper")
+	}
+	if SMAreaMM2 != 48.1 || SMDynamicWatts != 1.92 || SMLeakageWatts != 1.61 {
+		t.Error("SM constants drifted from the paper")
+	}
+}
+
+func TestChipSavingsTable(t *testing.T) {
+	tab := ChipSavingsTable(0.30, 0.45)
+	out := tab.String()
+	if !strings.Contains(out, "0.33") || !strings.Contains(out, "0.50") {
+		t.Fatalf("table missing leakage scenarios:\n%s", out)
+	}
+	if tab.NumRows() != 4 {
+		t.Fatalf("table rows = %d, want 4", tab.NumRows())
+	}
+}

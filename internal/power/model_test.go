@@ -1,0 +1,166 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/sim"
+)
+
+func TestDefaultModelConstants(t *testing.T) {
+	m := Default(14)
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if m.StaticPerCycle[c] <= 0 || m.DynamicPerInstr[c] <= 0 {
+			t.Fatalf("class %s has non-positive power constants", c)
+		}
+	}
+	if m.StaticPerCycle[isa.FP] <= m.StaticPerCycle[isa.INT] {
+		t.Fatal("FP leakage should exceed INT leakage (GPUWattch attribution)")
+	}
+	if m.GatedResidualFraction < 0 || m.GatedResidualFraction >= 1 {
+		t.Fatalf("residual fraction %v out of range", m.GatedResidualFraction)
+	}
+}
+
+func TestDefaultPanicsOnBadBET(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BET 0 accepted")
+		}
+	}()
+	Default(0)
+}
+
+func TestEventOverheadIsBETTimesStatic(t *testing.T) {
+	// The definitional identity of break-even time (Hu et al. [13]).
+	m := Default(14)
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		want := 14 * m.StaticPerCycle[c]
+		if got := m.EventOverhead(c); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s overhead = %v, want %v", c, got, want)
+		}
+	}
+}
+
+// fakeReport builds a report with hand-set domain counters.
+func fakeReport(powered, gated, events, instrs uint64) *sim.Report {
+	r := &sim.Report{}
+	d := &r.Domains[isa.INT]
+	d.Class = isa.INT
+	d.PoweredCycles = powered
+	d.GatedCycles = gated
+	d.BusyCycles = powered / 2
+	d.IdleCycles = powered + gated - d.BusyCycles
+	d.GatingEvents = events
+	d.IssuedInstrs = instrs
+	return r
+}
+
+func TestAnalyzeArithmetic(t *testing.T) {
+	m := Default(10)
+	m.GatedResidualFraction = 0
+	r := fakeReport(700, 300, 5, 100)
+	b := m.Analyze(r, isa.INT)
+	ps := m.StaticPerCycle[isa.INT]
+	if got, want := b.Static, 700*ps; got != want {
+		t.Fatalf("static = %v, want %v", got, want)
+	}
+	if got, want := b.Overhead, 5*10*ps; got != want {
+		t.Fatalf("overhead = %v, want %v", got, want)
+	}
+	if got, want := b.Dynamic, 100*m.DynamicPerInstr[isa.INT]; got != want {
+		t.Fatalf("dynamic = %v, want %v", got, want)
+	}
+	if got, want := b.StaticBaseline, 1000*ps; got != want {
+		t.Fatalf("baseline = %v, want %v", got, want)
+	}
+	// Savings = (1000 - 700 - 50)/1000 = 0.25.
+	if got := b.StaticSavings(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("savings = %v, want 0.25", got)
+	}
+}
+
+func TestBreakdownFractionsSumToOne(t *testing.T) {
+	f := func(powered, gated, events, instrs uint16) bool {
+		m := Default(14)
+		r := fakeReport(uint64(powered), uint64(gated), uint64(events), uint64(instrs))
+		b := m.Analyze(r, isa.INT)
+		if b.Total() == 0 {
+			return b.FractionStatic() == 0 && b.FractionDynamic() == 0 && b.FractionOverhead() == 0
+		}
+		sum := b.FractionStatic() + b.FractionDynamic() + b.FractionOverhead()
+		return sum > 0.999999 && sum < 1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSavingsNeverExceedOne(t *testing.T) {
+	f := func(powered, gated, events uint16) bool {
+		m := Default(14)
+		r := fakeReport(uint64(powered), uint64(gated), uint64(events), 10)
+		s := m.Analyze(r, isa.INT).StaticSavings()
+		return s <= 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeAgainstPenalizesSlowdown(t *testing.T) {
+	m := Default(14)
+	fast := fakeReport(800, 200, 0, 100) // 1000 cycles
+	slowRun := fakeReport(1000, 200, 0, 100)
+	// Against a 1000-cycle baseline, the 1200-cycle run's extra powered
+	// cycles reduce savings below its self-normalized figure.
+	self := m.Analyze(slowRun, isa.INT).StaticSavings()
+	vsBase := m.AnalyzeAgainst(slowRun, fast, isa.INT).StaticSavings()
+	if vsBase >= self {
+		t.Fatalf("baseline-normalized savings %v should be below self-normalized %v", vsBase, self)
+	}
+}
+
+func TestDynamicEnergyInvariantAcrossTechniques(t *testing.T) {
+	// Integration check of the paper's §7.3 claim on our simulator: dynamic
+	// energy of every class is identical across gating techniques.
+	cfg := config.Small()
+	k := kernels.MustBenchmark("hotspot").Scale(0.2)
+	m := Default(cfg.BreakEven)
+
+	run := func(g config.GatingKind, s config.SchedulerKind) *sim.Report {
+		c := cfg
+		c.Gating = g
+		c.Scheduler = s
+		gpu, err := sim.NewGPU(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gpu.Run()
+	}
+	base := run(config.GateNone, config.SchedTwoLevel)
+	for _, g := range []config.GatingKind{config.GateConventional, config.GateCoordBlackout} {
+		rep := run(g, config.SchedGATES)
+		for c := isa.Class(0); c < isa.NumClasses; c++ {
+			if got, want := m.Analyze(rep, c).Dynamic, m.Analyze(base, c).Dynamic; got != want {
+				t.Fatalf("class %s dynamic energy %v != baseline %v under %v", c, got, want, g)
+			}
+		}
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	m := Default(14)
+	r := fakeReport(100, 0, 0, 10)
+	all := m.AnalyzeAll(r)
+	if all[isa.INT].Dynamic == 0 {
+		t.Fatal("INT breakdown missing")
+	}
+	if all[isa.FP].Dynamic != 0 {
+		t.Fatal("FP breakdown should be empty for an INT-only fake report")
+	}
+}

@@ -1,0 +1,76 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWarpedGatesCountersInventory(t *testing.T) {
+	specs := WarpedGatesCounters(2)
+	// Figure 7 inventory: four RDY counters, two ACTV counters, one BET
+	// counter per gating domain (four for two SP clusters), two critical
+	// wakeup counters, two idle-detect registers, one priority register.
+	var betCount int
+	for _, s := range specs {
+		if s.Bits <= 0 || s.Count <= 0 {
+			t.Fatalf("spec %q has non-positive geometry", s.Name)
+		}
+		if strings.Contains(s.Name, "BET") {
+			betCount = s.Count
+		}
+	}
+	if betCount != 4 {
+		t.Fatalf("BET counters = %d, want 4 for two SP clusters", betCount)
+	}
+	// A six-cluster Kepler-style machine needs twelve.
+	for _, s := range WarpedGatesCounters(6) {
+		if strings.Contains(s.Name, "BET") && s.Count != 12 {
+			t.Fatalf("six-cluster BET counters = %d, want 12", s.Count)
+		}
+	}
+	// Non-positive cluster count defaults to the paper machine.
+	for _, s := range WarpedGatesCounters(0) {
+		if strings.Contains(s.Name, "BET") && s.Count != 4 {
+			t.Fatalf("default BET counters = %d, want 4", s.Count)
+		}
+	}
+}
+
+func TestHardwareOverheadMatchesPaper(t *testing.T) {
+	// §7.5: 1,210.8 um^2 => 0.003% of the 48.1 mm^2 SM; 1.55 mW dynamic =>
+	// 0.08% of 1.92 W; 12.1 uW leakage => 0.0007% of 1.61 W.
+	o := HardwareOverhead(WarpedGatesCounters(2))
+	if math.Abs(o.AreaUM2-1210.8) > 1e-9 {
+		t.Fatalf("area = %v, want 1210.8", o.AreaUM2)
+	}
+	if math.Abs(o.AreaFraction-0.0000252) > 0.000002 {
+		t.Fatalf("area fraction = %v (%.4f%%), want ~0.003%%", o.AreaFraction, o.AreaFraction*100)
+	}
+	if math.Abs(o.DynFraction-0.000807) > 0.00005 {
+		t.Fatalf("dynamic fraction = %v, want ~0.08%%", o.DynFraction)
+	}
+	if math.Abs(o.LeakFraction-0.0000075) > 0.000001 {
+		t.Fatalf("leakage fraction = %v, want ~0.0007%%", o.LeakFraction)
+	}
+}
+
+func TestHardwareOverheadScalesWithBits(t *testing.T) {
+	two := HardwareOverhead(WarpedGatesCounters(2))
+	six := HardwareOverhead(WarpedGatesCounters(6))
+	if six.AreaUM2 <= two.AreaUM2 {
+		t.Fatal("more clusters should cost more area")
+	}
+	if six.InventoryBits <= two.InventoryBits {
+		t.Fatal("more clusters should need more bits")
+	}
+}
+
+func TestOverheadTableRenders(t *testing.T) {
+	out := OverheadTable(WarpedGatesCounters(2)).String()
+	for _, want := range []string{"area", "dynamic", "leakage", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("overhead table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"testing"
+
+	"warpedgates/internal/isa"
+)
+
+// benchCands builds a mixed 24-candidate list.
+func benchCands() []Candidate {
+	out := make([]Candidate, 24)
+	for i := range out {
+		out[i] = Candidate{WarpIdx: i * 2, Class: isa.Class(i % 4)}
+	}
+	return out
+}
+
+func BenchmarkTwoLevelArrange(b *testing.B) {
+	p := NewTwoLevel()
+	st := &SMState{NumWarps: 48}
+	cands := benchCands()
+	buf := make([]Candidate, len(cands))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, cands)
+		p.Arrange(buf, st)
+		p.OnIssue(buf[0])
+	}
+}
+
+func BenchmarkGATESArrange(b *testing.B) {
+	g := NewGATES()
+	st := &SMState{NumWarps: 48}
+	st.ACTV[isa.INT] = 6
+	st.ACTV[isa.FP] = 6
+	cands := benchCands()
+	buf := make([]Candidate, len(cands))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.UpdatePriority(st)
+		copy(buf, cands)
+		g.Arrange(buf, st)
+		g.OnIssue(buf[0])
+	}
+}

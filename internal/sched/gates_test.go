@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warpedgates/internal/isa"
+)
+
+func TestGATESInitialPriorityIsINT(t *testing.T) {
+	g := NewGATES()
+	if g.HighPriority() != isa.INT {
+		t.Fatalf("initial high priority = %s, want INT (paper §4.1)", g.HighPriority())
+	}
+}
+
+func TestGATESOrdering(t *testing.T) {
+	g := NewGATES()
+	st := &SMState{NumWarps: 16}
+	cands := []Candidate{
+		cand(0, isa.FP), cand(1, isa.SFU), cand(2, isa.LDST), cand(3, isa.INT), cand(4, isa.FP),
+	}
+	g.Arrange(cands, st)
+	// Expected rank order with INT high: INT, LDST, SFU, FP.
+	wantClasses := []isa.Class{isa.INT, isa.LDST, isa.SFU, isa.FP, isa.FP}
+	for i, c := range cands {
+		if c.Class != wantClasses[i] {
+			t.Fatalf("position %d: got %s, want %s (order %v)", i, c.Class, wantClasses[i], cands)
+		}
+	}
+}
+
+func TestGATESPrioritySwitchOnDrain(t *testing.T) {
+	g := NewGATES()
+	st := &SMState{NumWarps: 16}
+	st.ACTV[isa.INT] = 0
+	st.ACTV[isa.FP] = 3
+	g.UpdatePriority(st)
+	if g.HighPriority() != isa.FP {
+		t.Fatal("priority did not switch when INT subset drained")
+	}
+	// And back.
+	st.ACTV[isa.INT] = 2
+	st.ACTV[isa.FP] = 0
+	g.UpdatePriority(st)
+	if g.HighPriority() != isa.INT {
+		t.Fatal("priority did not switch back")
+	}
+	if g.Switches() != 2 {
+		t.Fatalf("switches = %d, want 2", g.Switches())
+	}
+}
+
+func TestGATESNoSwitchWhenBothEmpty(t *testing.T) {
+	g := NewGATES()
+	st := &SMState{NumWarps: 16}
+	g.UpdatePriority(st) // ACTV all zero: hold
+	if g.HighPriority() != isa.INT {
+		t.Fatal("switched with empty subsets")
+	}
+}
+
+func TestGATESBlackoutSwitch(t *testing.T) {
+	// §5: switch priority when every cluster of the highest type is in
+	// blackout and the other type has ready work.
+	g := NewGATES()
+	st := &SMState{NumWarps: 16}
+	st.ACTV[isa.INT] = 4
+	st.ACTV[isa.FP] = 4
+	st.RDY[isa.FP] = 2
+	st.AllBlackout[isa.INT] = true
+	g.UpdatePriority(st)
+	if g.HighPriority() != isa.FP {
+		t.Fatal("priority did not switch when INT clusters blacked out")
+	}
+}
+
+func TestGATESBlackoutSwitchNeedsReadyWork(t *testing.T) {
+	g := NewGATES()
+	st := &SMState{NumWarps: 16}
+	st.ACTV[isa.INT] = 4
+	st.AllBlackout[isa.INT] = true
+	st.RDY[isa.FP] = 0
+	g.UpdatePriority(st)
+	if g.HighPriority() != isa.INT {
+		t.Fatal("switched although the other type has no ready warps")
+	}
+}
+
+func TestGATESMaxHold(t *testing.T) {
+	g := NewGATES()
+	g.MaxHold = 3
+	st := &SMState{NumWarps: 16}
+	st.ACTV[isa.INT] = 4
+	st.ACTV[isa.FP] = 4
+	for i := 0; i < 3; i++ {
+		g.UpdatePriority(st)
+		if g.HighPriority() != isa.INT {
+			t.Fatalf("switched early at %d", i)
+		}
+	}
+	g.UpdatePriority(st)
+	if g.HighPriority() != isa.FP {
+		t.Fatal("MaxHold did not force a switch")
+	}
+}
+
+func TestGATESRoundRobinWithinType(t *testing.T) {
+	g := NewGATES()
+	st := &SMState{NumWarps: 16}
+	cands := []Candidate{cand(0, isa.INT), cand(4, isa.INT), cand(8, isa.INT)}
+	g.Arrange(cands, st)
+	g.OnIssue(cands[0]) // warp 0
+	cands = []Candidate{cand(0, isa.INT), cand(4, isa.INT), cand(8, isa.INT)}
+	g.Arrange(cands, st)
+	if cands[0].WarpIdx != 4 {
+		t.Fatalf("round-robin within type broken: %v", idxOrder(cands))
+	}
+}
+
+func TestGATESSeparatesINTAndFPToEnds(t *testing.T) {
+	// Property (paper §4.1): whatever the current priority, INT and FP are
+	// never adjacent in the middle of the order — one of them is first and
+	// the other last among the classes present.
+	f := func(classRaw []uint8, flip bool) bool {
+		g := NewGATES()
+		if flip {
+			st := &SMState{NumWarps: 64}
+			st.ACTV[isa.FP] = 1 // force a switch to FP-high
+			g.UpdatePriority(st)
+		}
+		var cands []Candidate
+		for i, cr := range classRaw {
+			cands = append(cands, cand(i, isa.Class(cr%4)))
+		}
+		st := &SMState{NumWarps: 64}
+		g.Arrange(cands, st)
+		hi := g.HighPriority()
+		lo := isa.FP
+		if hi == isa.FP {
+			lo = isa.INT
+		}
+		// After the first lo-class candidate, only lo-class may follow.
+		seenLo := false
+		for _, c := range cands {
+			if c.Class == lo {
+				seenLo = true
+			} else if seenLo {
+				return false
+			}
+			_ = hi
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGATESArrangePreservesCandidateSet(t *testing.T) {
+	// Property: Arrange permutes, never adds or drops candidates.
+	f := func(classRaw []uint8) bool {
+		g := NewGATES()
+		var cands []Candidate
+		for i, cr := range classRaw {
+			cands = append(cands, cand(i, isa.Class(cr%4)))
+		}
+		before := map[int]isa.Class{}
+		for _, c := range cands {
+			before[c.WarpIdx] = c.Class
+		}
+		g.Arrange(cands, &SMState{NumWarps: 64})
+		if len(cands) != len(before) {
+			return false
+		}
+		for _, c := range cands {
+			cls, ok := before[c.WarpIdx]
+			if !ok || cls != c.Class {
+				return false
+			}
+			delete(before, c.WarpIdx)
+		}
+		return len(before) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

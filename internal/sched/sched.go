@@ -1,0 +1,125 @@
+// Package sched implements the warp-scheduling policies the paper evaluates:
+// a loose round-robin scheduler (the pre-two-level baseline), the two-level
+// warp scheduler of Gebhart et al. [12] (the paper's baseline), and GATES,
+// the gating-aware two-level scheduler that is the paper's first
+// contribution.
+//
+// The simulator builds, once per scheduler slot per cycle, the list of ready
+// candidates (warps in the active set whose next instruction has all operands
+// ready); the policy orders that list, and the issue arbiter walks it until
+// one candidate passes the structural and gating checks. Two policy instances
+// per SM model Fermi's dual schedulers; GATES instances share per-SM priority
+// state, matching the paper's single per-SM priority register.
+package sched
+
+import (
+	"fmt"
+
+	"warpedgates/internal/isa"
+)
+
+// Candidate is one issue-eligible warp: its index in the SM warp table and
+// the execution-unit class of its next instruction.
+type Candidate struct {
+	WarpIdx int
+	Class   isa.Class
+}
+
+// SMState is the per-cycle scheduler-visible SM state: the per-type counters
+// the paper adds for GATES (ACTV and RDY, §6) plus blackout visibility for
+// the priority-switch extension (§5).
+type SMState struct {
+	// ACTV counts warps in the active warp subset per type (incremented on
+	// entry, decremented on exit — paper's INT_ACTV/FP_ACTV).
+	ACTV [isa.NumClasses]int
+	// RDY counts ready warps per type (paper's INT_RDY/FP_RDY/...).
+	RDY [isa.NumClasses]int
+	// AllBlackout reports that every cluster of a type is in blackout, so
+	// issuing that type is impossible for at least the break-even time.
+	AllBlackout [isa.NumClasses]bool
+	// NumWarps is the SM warp-table size, for round-robin arithmetic.
+	NumWarps int
+}
+
+// Policy orders issue candidates. Implementations may keep history (e.g.
+// round-robin pointers) and are informed of every successful issue.
+type Policy interface {
+	// Arrange reorders cands in place into descending issue priority.
+	Arrange(cands []Candidate, st *SMState)
+	// OnIssue notifies the policy that the candidate was issued.
+	OnIssue(c Candidate)
+	// Name returns the policy's short name.
+	Name() string
+}
+
+// rotate reorders cands so the first warp index strictly greater than pivot
+// comes first, preserving relative order otherwise — the classic loose
+// round-robin arrangement.
+func rotate(cands []Candidate, pivot int) {
+	if len(cands) < 2 {
+		return
+	}
+	split := len(cands)
+	for i, c := range cands {
+		if c.WarpIdx > pivot {
+			split = i
+			break
+		}
+	}
+	if split == 0 || split == len(cands) {
+		return
+	}
+	buf := make([]Candidate, 0, len(cands))
+	buf = append(buf, cands[split:]...)
+	buf = append(buf, cands[:split]...)
+	copy(cands, buf)
+}
+
+// LRR is a loose round-robin scheduler with no type awareness; it serves as
+// the simplest ablation baseline.
+type LRR struct {
+	last int
+}
+
+// NewLRR returns a loose round-robin policy.
+func NewLRR() *LRR { return &LRR{last: -1} }
+
+// Arrange rotates the candidates after the last-issued warp.
+func (p *LRR) Arrange(cands []Candidate, st *SMState) { rotate(cands, p.last) }
+
+// OnIssue records the issued warp for the next rotation.
+func (p *LRR) OnIssue(c Candidate) { p.last = c.WarpIdx }
+
+// Name returns "LRR".
+func (p *LRR) Name() string { return "LRR" }
+
+// TwoLevel is the paper's baseline scheduler: warps waiting on long-latency
+// events live in a pending set (enforced by the simulator — they are never
+// candidates), and ready warps issue greedily in loose round-robin order
+// without regard to instruction type. The greedy interspersing of types is
+// precisely what produces the short idle periods of paper Figure 3a.
+type TwoLevel struct {
+	last int
+}
+
+// NewTwoLevel returns a two-level baseline policy.
+func NewTwoLevel() *TwoLevel { return &TwoLevel{last: -1} }
+
+// Arrange rotates the ready candidates after the last-issued warp.
+func (p *TwoLevel) Arrange(cands []Candidate, st *SMState) { rotate(cands, p.last) }
+
+// OnIssue records the issued warp for the next rotation.
+func (p *TwoLevel) OnIssue(c Candidate) { p.last = c.WarpIdx }
+
+// Name returns "TwoLevel".
+func (p *TwoLevel) Name() string { return "TwoLevel" }
+
+// ensure interface conformance.
+var (
+	_ Policy = (*LRR)(nil)
+	_ Policy = (*TwoLevel)(nil)
+	_ Policy = (*GATES)(nil)
+)
+
+// fmt is used by priority debugging helpers.
+var _ = fmt.Sprintf

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"testing"
+
+	"warpedgates/internal/isa"
+)
+
+func cand(idx int, c isa.Class) Candidate { return Candidate{WarpIdx: idx, Class: c} }
+
+func idxOrder(cands []Candidate) []int {
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.WarpIdx
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRotateBasic(t *testing.T) {
+	cands := []Candidate{cand(0, isa.INT), cand(2, isa.INT), cand(5, isa.INT), cand(9, isa.INT)}
+	rotate(cands, 2)
+	if got := idxOrder(cands); !equalInts(got, []int{5, 9, 0, 2}) {
+		t.Fatalf("rotate after 2 = %v", got)
+	}
+}
+
+func TestRotateEdgeCases(t *testing.T) {
+	// Pivot before all: unchanged.
+	cands := []Candidate{cand(3, isa.INT), cand(7, isa.INT)}
+	rotate(cands, -1)
+	if got := idxOrder(cands); !equalInts(got, []int{3, 7}) {
+		t.Fatalf("rotate(-1) = %v", got)
+	}
+	// Pivot after all: unchanged.
+	rotate(cands, 100)
+	if got := idxOrder(cands); !equalInts(got, []int{3, 7}) {
+		t.Fatalf("rotate(100) = %v", got)
+	}
+	// Single element and empty are no-ops.
+	one := []Candidate{cand(1, isa.INT)}
+	rotate(one, 0)
+	rotate(nil, 5)
+}
+
+func TestTwoLevelRoundRobin(t *testing.T) {
+	p := NewTwoLevel()
+	st := &SMState{NumWarps: 16}
+	cands := []Candidate{cand(1, isa.INT), cand(4, isa.FP), cand(8, isa.LDST)}
+	p.Arrange(cands, st)
+	if cands[0].WarpIdx != 1 {
+		t.Fatalf("fresh scheduler should start from lowest warp, got %d", cands[0].WarpIdx)
+	}
+	p.OnIssue(cands[0])
+	cands2 := []Candidate{cand(1, isa.INT), cand(4, isa.FP), cand(8, isa.LDST)}
+	p.Arrange(cands2, st)
+	if cands2[0].WarpIdx != 4 {
+		t.Fatalf("after issuing warp 1, next should be 4, got %d", cands2[0].WarpIdx)
+	}
+}
+
+func TestTwoLevelIgnoresType(t *testing.T) {
+	// The baseline greedily intersperses types: the arrangement depends only
+	// on warp order, never on instruction class (the paper's §3 critique).
+	p := NewTwoLevel()
+	st := &SMState{NumWarps: 8}
+	a := []Candidate{cand(0, isa.FP), cand(1, isa.INT), cand(2, isa.FP)}
+	p.Arrange(a, st)
+	if got := idxOrder(a); !equalInts(got, []int{0, 1, 2}) {
+		t.Fatalf("two-level reordered by type: %v", got)
+	}
+}
+
+func TestLRRBehavesLikeRoundRobin(t *testing.T) {
+	p := NewLRR()
+	st := &SMState{NumWarps: 8}
+	cands := []Candidate{cand(0, isa.INT), cand(3, isa.FP)}
+	p.Arrange(cands, st)
+	p.OnIssue(cands[0])
+	cands = []Candidate{cand(0, isa.INT), cand(3, isa.FP)}
+	p.Arrange(cands, st)
+	if cands[0].WarpIdx != 3 {
+		t.Fatalf("LRR did not rotate: %v", idxOrder(cands))
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewLRR().Name() != "LRR" || NewTwoLevel().Name() != "TwoLevel" || NewGATES().Name() != "GATES" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/kernels"
+)
+
+// BenchmarkSMCycle measures the cost of one simulated SM cycle under the
+// full Warped Gates configuration — the number that bounds how fast the
+// figure harness can run.
+func BenchmarkSMCycle(b *testing.B) {
+	cfg := config.GTX480()
+	cfg.NumSMs = 1
+	cfg.Scheduler = config.SchedGATES
+	cfg.Gating = config.GateCoordBlackout
+	cfg.AdaptiveIdleDetect = true
+	cfg.MaxCycles = 1 << 30
+	k := kernels.MustBenchmark("hotspot").Scale(100) // effectively endless
+	gpu, err := NewGPU(cfg, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm := gpu.SMs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.step(int64(i))
+	}
+}
+
+// BenchmarkFullRunSmall measures a complete small-machine simulation.
+func BenchmarkFullRunSmall(b *testing.B) {
+	cfg := config.Small()
+	k := kernels.MustBenchmark("nw").Scale(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpu, err := NewGPU(cfg, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpu.Run()
+	}
+}

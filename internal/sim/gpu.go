@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"fmt"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/gating"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/mem"
+	"warpedgates/internal/stats"
+)
+
+// GPU is the whole simulated device: the SM array plus the shared memory
+// system, stepped in lockstep.
+type GPU struct {
+	cfg    config.Config
+	kernel *kernels.Kernel
+	sms    []*SM
+	gmem   *mem.GPUMem
+	cycle  int64
+	ranOut bool // MaxCycles hit before the workload drained
+}
+
+// NewGPU builds a device running kernel k under cfg. It validates both.
+func NewGPU(cfg config.Config, k *kernels.Kernel) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{cfg: cfg, kernel: k, gmem: mem.NewGPUMem(cfg)}
+	benchSeed := stats.CombineSeeds(stats.HashString(k.Name), cfg.Seed)
+	for i := 0; i < cfg.NumSMs; i++ {
+		g.sms = append(g.sms, newSM(i, cfg, k, g.gmem, benchSeed))
+	}
+	return g, nil
+}
+
+// Run executes the workload to completion (or cfg.MaxCycles) and returns the
+// final report.
+func (g *GPU) Run() *Report {
+	for {
+		if g.cfg.MaxCycles > 0 && g.cycle >= int64(g.cfg.MaxCycles) {
+			g.ranOut = true
+			break
+		}
+		allDone := true
+		for _, sm := range g.sms {
+			if !sm.done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		for _, sm := range g.sms {
+			if !sm.done() {
+				sm.step(g.cycle)
+			}
+		}
+		g.cycle++
+	}
+	for _, sm := range g.sms {
+		sm.finish()
+	}
+	return g.report()
+}
+
+// Cycle returns the current simulated cycle.
+func (g *GPU) Cycle() int64 { return g.cycle }
+
+// IssueTracer observes every successful instruction issue; see SetIssueTracer.
+type IssueTracer func(smID int, cycle int64, warpIdx int, class isa.Class, cluster int)
+
+// IssueEvent is one recorded instruction issue, for trace consumers.
+type IssueEvent struct {
+	Cycle   int64
+	Warp    int
+	Class   isa.Class
+	Cluster int
+}
+
+// SetIssueTracer installs a callback invoked on every issue. It exists for
+// fine-grained experiments (the paper's Figure 4 schedule walkthrough) and
+// for tests; production runs leave it nil.
+func (g *GPU) SetIssueTracer(f IssueTracer) {
+	for _, sm := range g.sms {
+		sm.tracer = f
+	}
+}
+
+// LaneState is one gating domain's observable state during one cycle.
+type LaneState struct {
+	Class   isa.Class
+	Cluster int
+	Busy    bool
+	State   gating.State
+}
+
+// CycleProbe observes every gating domain of an SM once per cycle, after the
+// gating controllers tick; see SetCycleProbe.
+type CycleProbe func(smID int, cycle int64, lanes []LaneState)
+
+// SetCycleProbe installs a per-cycle state probe on every SM. The lanes
+// slice is reused across calls; consumers must copy what they keep.
+func (g *GPU) SetCycleProbe(f CycleProbe) {
+	for _, sm := range g.sms {
+		sm.probe = f
+	}
+}
+
+// SMs exposes the SM array for white-box tests.
+func (g *GPU) SMs() []*SM { return g.sms }
+
+// DomainStats aggregates one gating-domain class (e.g. all INT pipes of all
+// SMs) over the whole device.
+type DomainStats struct {
+	Class    isa.Class
+	Clusters int // gating domains aggregated (pipes × SMs)
+
+	BusyCycles      uint64
+	IdleCycles      uint64
+	PoweredCycles   uint64
+	GatedCycles     uint64
+	UncompCycles    uint64
+	CompCycles      uint64
+	GatingEvents    uint64
+	Wakeups         uint64
+	NegativeEvents  uint64
+	CriticalWakeups uint64
+	DeniedWakeups   uint64
+	IssuedInstrs    uint64
+
+	IdlePeriods *stats.Histogram
+}
+
+// CellCycles returns the total domain-cycles observed (cycles × clusters).
+func (d *DomainStats) CellCycles() uint64 {
+	return d.BusyCycles + d.IdleCycles
+}
+
+// IdleFraction returns idle cycles over total domain-cycles (Fig. 8a).
+func (d *DomainStats) IdleFraction() float64 {
+	return stats.Ratio(float64(d.IdleCycles), float64(d.CellCycles()))
+}
+
+// CompensatedFraction returns compensated-state cycles over total
+// domain-cycles (Fig. 8b, positive part).
+func (d *DomainStats) CompensatedFraction() float64 {
+	return stats.Ratio(float64(d.CompCycles), float64(d.CellCycles()))
+}
+
+// UncompensatedFraction returns uncompensated-state cycles over total
+// domain-cycles (Fig. 8b, negative part).
+func (d *DomainStats) UncompensatedFraction() float64 {
+	return stats.Ratio(float64(d.UncompCycles), float64(d.CellCycles()))
+}
+
+// Report is the complete outcome of one simulation.
+type Report struct {
+	Benchmark string
+	Config    config.Config
+	Cycles    int64
+	RanOut    bool
+
+	Domains [isa.NumClasses]DomainStats
+
+	IssuedByClass [isa.NumClasses]uint64
+	IssuedTotal   uint64
+
+	ActiveWarpAvg float64
+	ActiveWarpMax int
+
+	IssueStallsMem  uint64
+	IssueStallsGate uint64
+	CTAsCompleted   int
+
+	L1MissRate float64
+	L2Stats    [4]uint64 // accesses, misses, dram requests, queue delay
+}
+
+// report assembles the final Report from per-SM state.
+func (g *GPU) report() *Report {
+	r := &Report{
+		Benchmark: g.kernel.Name,
+		Config:    g.cfg,
+		Cycles:    g.cycle,
+		RanOut:    g.ranOut,
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		r.Domains[c] = DomainStats{Class: c, IdlePeriods: stats.NewHistogram()}
+	}
+	var l1Acc, l1Miss uint64
+	var warpSum uint64
+	var cyclesSum int64
+	for _, sm := range g.sms {
+		st := sm.Stats()
+		cyclesSum += st.Cycles
+		warpSum += st.ActiveWarpSum
+		if st.ActiveWarpMax > r.ActiveWarpMax {
+			r.ActiveWarpMax = st.ActiveWarpMax
+		}
+		r.IssueStallsMem += st.IssueStallsMem
+		r.IssueStallsGate += st.IssueStallsGate
+		r.CTAsCompleted += st.CTAsCompleted
+		for c := isa.Class(0); c < isa.NumClasses; c++ {
+			r.IssuedByClass[c] += st.IssuedByClass[c]
+		}
+		r.IssuedTotal += st.IssuedTotal
+		for _, p := range sm.allPipes() {
+			d := &r.Domains[p.Class()]
+			d.Clusters++
+			gs := p.Gate().Stats()
+			d.BusyCycles += gs.BusyCycles
+			d.IdleCycles += gs.IdleCycles
+			d.PoweredCycles += gs.PoweredCycles
+			d.GatedCycles += gs.GatedCycles
+			d.UncompCycles += gs.UncompCycles
+			d.CompCycles += gs.CompCycles
+			d.GatingEvents += gs.GatingEvents
+			d.Wakeups += gs.Wakeups
+			d.NegativeEvents += gs.NegativeEvents
+			d.CriticalWakeups += gs.CriticalWakeups
+			d.DeniedWakeups += gs.DeniedWakeups
+			d.IssuedInstrs += p.Issued()
+			d.IdlePeriods.Merge(gs.IdlePeriods)
+		}
+		a, m := sm.memPort.L1().Stats()
+		l1Acc += a
+		l1Miss += m
+	}
+	if cyclesSum > 0 {
+		r.ActiveWarpAvg = float64(warpSum) / float64(cyclesSum)
+	}
+	if l1Acc > 0 {
+		r.L1MissRate = float64(l1Miss) / float64(l1Acc)
+	}
+	a, m, d, q := g.gmem.Stats()
+	r.L2Stats = [4]uint64{a, m, d, q}
+	return r
+}
+
+// InstructionMix returns the dynamic instruction mix measured from issued
+// instructions (the basis of Fig. 5a).
+func (r *Report) InstructionMix() [isa.NumClasses]float64 {
+	var mix [isa.NumClasses]float64
+	if r.IssuedTotal == 0 {
+		return mix
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		mix[c] = float64(r.IssuedByClass[c]) / float64(r.IssuedTotal)
+	}
+	return mix
+}
+
+// CriticalWakeupsPer1000 returns critical wakeups per thousand cycles for a
+// class, aggregated over the device (Fig. 6's x-axis).
+func (r *Report) CriticalWakeupsPer1000(c isa.Class) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Domains[c].CriticalWakeups) / float64(r.Cycles) * 1000 / float64(r.Config.NumSMs)
+}
+
+// String summarizes the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("Report{%s %s/%s cycles=%d int=%d fp=%d sfu=%d ldst=%d avgActive=%.1f}",
+		r.Benchmark, r.Config.Scheduler, r.Config.Gating, r.Cycles,
+		r.IssuedByClass[isa.INT], r.IssuedByClass[isa.FP],
+		r.IssuedByClass[isa.SFU], r.IssuedByClass[isa.LDST], r.ActiveWarpAvg)
+}

@@ -1,0 +1,602 @@
+package sim
+
+import (
+	"fmt"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/gating"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/mem"
+	"warpedgates/internal/sched"
+	"warpedgates/internal/stats"
+)
+
+// retireRingSize bounds how far in the future a writeback can be scheduled;
+// it must exceed the worst-case memory completion horizon (DRAM latency plus
+// maximal channel queueing). Power of two for cheap masking.
+const retireRingSize = 1 << 14
+
+// retireEvent is a scheduled writeback: clear dstMask in the warp's
+// scoreboard, guarded by the warp-slot generation to survive slot reuse.
+type retireEvent struct {
+	warp    *Warp
+	gen     uint32
+	dstMask uint64
+}
+
+// SMStats aggregates the per-SM counters the figures are computed from.
+type SMStats struct {
+	Cycles          int64
+	IssuedByClass   [isa.NumClasses]uint64
+	IssuedTotal     uint64
+	ActiveWarpSum   uint64 // sum over cycles of active-set size (Fig. 5b avg)
+	ActiveWarpMax   int    // peak active-set size (Fig. 5b max)
+	IssueStallsMem  uint64 // candidate failed on MSHR/port hazard
+	IssueStallsGate uint64 // candidate failed because all target pipes were gated
+	CTAsCompleted   int
+}
+
+// SM is one streaming multiprocessor: warp table, dual schedulers, execution
+// pipes with per-domain gating controllers, and a private memory port.
+type SM struct {
+	id  int
+	cfg config.Config
+
+	kernel *kernels.Kernel
+	warps  []*Warp
+
+	// ctasRemaining counts CTAs not yet launched; ctaLive tracks live warps
+	// per resident CTA slot so finished CTAs can be replaced.
+	ctasRemaining int
+	ctaLive       []int
+	warpSeq       uint64 // monotonically increasing warp launch counter
+
+	policies []sched.Policy
+	gatesPol *sched.GATES // non-nil when the GATES policy is active
+
+	intPipes []*Pipe
+	fpPipes  []*Pipe
+	sfuPipe  *Pipe
+	ldstPipe *Pipe
+
+	intCoord *gating.Coordinator
+	fpCoord  *gating.Coordinator
+	intAdapt *gating.AdaptiveIdleDetect
+	fpAdapt  *gating.AdaptiveIdleDetect
+
+	memPort   *mem.SMPort
+	coalescer *mem.Coalescer
+
+	retireRing [retireRingSize][]retireEvent
+
+	// candBuf holds reusable candidate slices, one per scheduler slot.
+	candBuf [][]sched.Candidate
+	// memBlocked marks that a global access already failed MSHR admission
+	// this cycle; the MSHR is SM-wide, so further LDST candidates are
+	// skipped until next cycle.
+	memBlocked bool
+
+	benchSeed uint64
+	st        SMStats
+	smState   sched.SMState
+	tracer    IssueTracer
+	probe     CycleProbe
+	laneBuf   []LaneState
+
+	// prevCritINT/FP hold the previous cumulative critical-wakeup counts so
+	// the adaptive mechanism can be fed per-cycle deltas.
+	prevCritINT uint64
+	prevCritFP  uint64
+}
+
+// newSM builds one SM with its pipes, controllers and scheduler slots.
+func newSM(id int, cfg config.Config, k *kernels.Kernel, gpuMem *mem.GPUMem, benchSeed uint64) *SM {
+	sm := &SM{
+		id:        id,
+		cfg:       cfg,
+		kernel:    k,
+		memPort:   mem.NewSMPort(cfg, gpuMem),
+		coalescer: mem.NewCoalescer(),
+		benchSeed: benchSeed,
+	}
+
+	// Adaptive idle-detect state is per instruction type (paper §5.1:
+	// "different idle-detect values for INT and FP").
+	sm.intAdapt = gating.NewAdaptiveIdleDetect(cfg)
+	sm.fpAdapt = gating.NewAdaptiveIdleDetect(cfg)
+
+	mkCtrl := func(kind config.GatingKind, idle func() int) *gating.Controller {
+		return gating.NewController(kind, idle, cfg.BreakEven, cfg.WakeupDelay)
+	}
+	// SFU and LDST are gated conventionally whenever gating is enabled: the
+	// paper's blackout machinery targets the clustered INT/FP CUDA cores
+	// (§3: conventional gating suffices for the rare SFU traffic). The
+	// BlackoutAux extension applies Naive Blackout there as well (single
+	// clusters cannot be coordinated).
+	auxKind := cfg.Gating
+	if auxKind == config.GateNaiveBlackout || auxKind == config.GateCoordBlackout {
+		if cfg.BlackoutAux {
+			auxKind = config.GateNaiveBlackout
+		} else {
+			auxKind = config.GateConventional
+		}
+	}
+	fixedIdle := func() int { return cfg.IdleDetect }
+
+	var intCtrls, fpCtrls []*gating.Controller
+	for c := 0; c < cfg.NumSPClusters; c++ {
+		ic := mkCtrl(cfg.Gating, sm.intAdapt.Value)
+		fc := mkCtrl(cfg.Gating, sm.fpAdapt.Value)
+		intCtrls = append(intCtrls, ic)
+		fpCtrls = append(fpCtrls, fc)
+		sm.intPipes = append(sm.intPipes, newPipe(isa.INT, c, ic))
+		sm.fpPipes = append(sm.fpPipes, newPipe(isa.FP, c, fc))
+	}
+	sm.intCoord = gating.NewCoordinator(cfg.Gating, intCtrls...)
+	sm.fpCoord = gating.NewCoordinator(cfg.Gating, fpCtrls...)
+	sm.sfuPipe = newPipe(isa.SFU, 0, mkCtrl(auxKind, fixedIdle))
+	sm.ldstPipe = newPipe(isa.LDST, 0, mkCtrl(auxKind, fixedIdle))
+
+	// Scheduler slots. GATES shares one priority register per SM (Fig. 7),
+	// so a single policy instance serves both slots.
+	switch cfg.Scheduler {
+	case config.SchedGATES:
+		g := sched.NewGATES()
+		g.MaxHold = cfg.GATESMaxHold
+		sm.gatesPol = g
+		for i := 0; i < cfg.NumSchedulers; i++ {
+			sm.policies = append(sm.policies, g)
+		}
+	case config.SchedLRR:
+		for i := 0; i < cfg.NumSchedulers; i++ {
+			sm.policies = append(sm.policies, sched.NewLRR())
+		}
+	default:
+		for i := 0; i < cfg.NumSchedulers; i++ {
+			sm.policies = append(sm.policies, sched.NewTwoLevel())
+		}
+	}
+
+	// Warp table: enough slots for the resident CTAs, capped by the SM limit.
+	conc := k.MaxConcurrentCTAs
+	if max := cfg.MaxWarpsPerSM / k.WarpsPerCTA; conc > max && max > 0 {
+		conc = max
+	}
+	if conc == 0 {
+		conc = 1
+	}
+	nWarps := conc * k.WarpsPerCTA
+	if nWarps > cfg.MaxWarpsPerSM {
+		nWarps = cfg.MaxWarpsPerSM
+	}
+	sm.warps = make([]*Warp, nWarps)
+	for i := range sm.warps {
+		sm.warps[i] = &Warp{id: i, state: WarpIdleSlot}
+	}
+	sm.ctaLive = make([]int, conc)
+	sm.ctasRemaining = k.CTAsPerSM
+	sm.smState.NumWarps = nWarps
+
+	// Launch the first wave.
+	for slot := 0; slot < conc; slot++ {
+		sm.launchCTA(slot)
+	}
+	return sm
+}
+
+// launchCTA fills CTA slot with fresh warps, if work remains.
+func (sm *SM) launchCTA(slot int) {
+	if sm.ctasRemaining <= 0 {
+		return
+	}
+	sm.ctasRemaining--
+	w0 := slot * sm.kernel.WarpsPerCTA
+	n := sm.kernel.WarpsPerCTA
+	for i := 0; i < n && w0+i < len(sm.warps); i++ {
+		w := sm.warps[w0+i]
+		seed := stats.CombineSeeds(sm.benchSeed, uint64(sm.id)<<32, sm.warpSeq)
+		w.reset(sm.kernel, slot, sm.warpSeq, seed)
+		sm.warpSeq++
+		sm.ctaLive[slot]++
+	}
+}
+
+// done reports whether the SM has drained all its work.
+func (sm *SM) done() bool {
+	if sm.ctasRemaining > 0 {
+		return false
+	}
+	for _, w := range sm.warps {
+		if w.live() {
+			return false
+		}
+	}
+	return true
+}
+
+// step advances the SM by one cycle.
+func (sm *SM) step(now int64) {
+	sm.st.Cycles++
+	sm.memPort.Expire(now)
+	sm.writeback(now)
+	sm.replaceCTAs()
+	sm.refreshCounters()
+	if sm.gatesPol != nil {
+		sm.gatesPol.UpdatePriority(&sm.smState)
+	}
+	sm.issue(now)
+	sm.tickGating(now)
+	if sm.probe != nil {
+		sm.laneBuf = sm.laneBuf[:0]
+		for _, p := range sm.allPipes() {
+			sm.laneBuf = append(sm.laneBuf, LaneState{
+				Class:   p.Class(),
+				Cluster: p.Cluster(),
+				Busy:    p.Busy(now),
+				State:   p.Gate().State(),
+			})
+		}
+		sm.probe(sm.id, now, sm.laneBuf)
+	}
+}
+
+// writeback retires all operations completing at cycle now.
+func (sm *SM) writeback(now int64) {
+	bucket := &sm.retireRing[now&(retireRingSize-1)]
+	for _, ev := range *bucket {
+		if ev.gen != ev.warp.gen {
+			continue // slot was recycled; the old warp is gone
+		}
+		ev.warp.clearPending(ev.dstMask)
+	}
+	*bucket = (*bucket)[:0]
+}
+
+// scheduleRetire books a future writeback.
+func (sm *SM) scheduleRetire(at int64, w *Warp, dstMask uint64) {
+	if dstMask == 0 {
+		return
+	}
+	delta := at - (at & ^int64(retireRingSize-1))
+	_ = delta
+	sm.retireRing[at&(retireRingSize-1)] = append(sm.retireRing[at&(retireRingSize-1)],
+		retireEvent{warp: w, gen: w.gen, dstMask: dstMask})
+}
+
+// replaceCTAs launches queued CTAs into drained slots.
+func (sm *SM) replaceCTAs() {
+	if sm.ctasRemaining <= 0 {
+		return
+	}
+	for slot := range sm.ctaLive {
+		if sm.ctaLive[slot] != 0 {
+			continue
+		}
+		sm.launchCTA(slot)
+	}
+}
+
+// refreshCounters recomputes the scheduler-visible per-type counters (the
+// paper's ACTV and RDY registers) and samples occupancy statistics.
+func (sm *SM) refreshCounters() {
+	var actv, rdy [isa.NumClasses]int
+	active := 0
+	for _, w := range sm.warps {
+		if w.state != WarpActive {
+			continue
+		}
+		active++
+		in := w.current()
+		if in == nil {
+			continue
+		}
+		c := in.Class()
+		actv[c]++
+		if w.ready() {
+			rdy[c]++
+		}
+	}
+	sm.smState.ACTV = actv
+	sm.smState.RDY = rdy
+	sm.smState.AllBlackout[isa.INT] = sm.intCoord.AllInBlackout()
+	sm.smState.AllBlackout[isa.FP] = sm.fpCoord.AllInBlackout()
+	sm.smState.AllBlackout[isa.SFU] = false
+	sm.smState.AllBlackout[isa.LDST] = false
+
+	sm.st.ActiveWarpSum += uint64(active)
+	if active > sm.st.ActiveWarpMax {
+		sm.st.ActiveWarpMax = active
+	}
+}
+
+// issue runs the SM's scheduler slots for one cycle. Warps are statically
+// partitioned between the slots by warp index, as in Fermi.
+func (sm *SM) issue(now int64) {
+	sm.memBlocked = false
+	nsched := len(sm.policies)
+	if sm.candBuf == nil {
+		sm.candBuf = make([][]sched.Candidate, nsched)
+	}
+	for s := 0; s < nsched; s++ {
+		cands := sm.candidates(s, nsched)
+		if len(cands) == 0 {
+			continue
+		}
+		pol := sm.policies[s]
+		pol.Arrange(cands, &sm.smState)
+		for _, c := range cands {
+			if sm.tryIssue(now, c) {
+				pol.OnIssue(c)
+				break
+			}
+		}
+	}
+}
+
+// candidates collects ready warps belonging to scheduler slot s into the
+// slot's reusable buffer.
+func (sm *SM) candidates(s, nsched int) []sched.Candidate {
+	out := sm.candBuf[s][:0]
+	for i := s; i < len(sm.warps); i += nsched {
+		w := sm.warps[i]
+		if !w.ready() {
+			continue
+		}
+		out = append(out, sched.Candidate{WarpIdx: i, Class: w.current().Class()})
+	}
+	sm.candBuf[s] = out
+	return out
+}
+
+// tryIssue attempts to issue warp c's next instruction; it returns false on
+// structural or gating hazards, in which case the arbiter tries the next
+// candidate (the heterogeneity that hides Blackout's latency, §5).
+func (sm *SM) tryIssue(now int64, c sched.Candidate) bool {
+	w := sm.warps[c.WarpIdx]
+	in := w.current()
+	if in == nil {
+		return false
+	}
+	switch in.Class() {
+	case isa.INT:
+		return sm.issueALU(now, w, in, sm.intPipes)
+	case isa.FP:
+		return sm.issueALU(now, w, in, sm.fpPipes)
+	case isa.SFU:
+		return sm.issueSingle(now, w, in, sm.sfuPipe)
+	case isa.LDST:
+		return sm.issueMemory(now, w, in)
+	}
+	panic(fmt.Sprintf("sim: unknown class %v", in.Class()))
+}
+
+// issueALU places an INT/FP instruction on one of the class's clusters.
+// Cluster preference is static (lowest index first): consolidating work onto
+// one cluster instead of balancing it coalesces the other cluster's idle
+// cycles into long gateable runs — the asymmetry Coordinated Blackout is
+// built around (one cluster powered and serving work, the peer sleeping).
+// When every cluster is gated or port-busy, a wakeup demand is raised on the
+// most wakeable gated cluster.
+func (sm *SM) issueALU(now int64, w *Warp, in *isa.Instr, pipes []*Pipe) bool {
+	for _, p := range pipes {
+		if p.CanStart(now) {
+			sm.commitIssue(now, w, in, p, in.InitiationInterval(), in.Latency())
+			return true
+		}
+	}
+	sm.noteGateStall()
+	return false
+}
+
+// issueSingle places an instruction on a single-cluster pipe (SFU).
+func (sm *SM) issueSingle(now int64, w *Warp, in *isa.Instr, p *Pipe) bool {
+	if p.CanStart(now) {
+		sm.commitIssue(now, w, in, p, in.InitiationInterval(), in.Latency())
+		return true
+	}
+	sm.noteGateStall()
+	return false
+}
+
+// issueMemory handles LDST instructions: coalescing, MSHR admission, and
+// completion scheduling through the memory subsystem.
+func (sm *SM) issueMemory(now int64, w *Warp, in *isa.Instr) bool {
+	p := sm.ldstPipe
+	if !p.CanStart(now) {
+		sm.noteGateStall()
+		return false
+	}
+	if in.Space == isa.SpaceShared {
+		complete := sm.memPort.SharedAccess(now)
+		sm.commitIssue(now, w, in, p, in.InitiationInterval(), in.Latency())
+		if isa.IsLoad(in.Op) {
+			sm.scheduleRetire(complete, w, 1<<uint(in.Dst))
+		}
+		return true
+	}
+	// Global/local access: coalesce (cached across structural retries) then
+	// check MSHR admission.
+	if sm.memBlocked {
+		sm.st.IssueStallsMem++
+		return false
+	}
+	if !w.memLinesValid {
+		base := w.globalSeq*97 + w.memCounter
+		w.memLines = append(w.memLines[:0],
+			sm.coalescer.Transactions(in.Pattern, in.Region, base, sm.kernel.WorkingSetLines, w.rng)...)
+		w.memLinesValid = true
+	}
+	lines := w.memLines
+	if !sm.memPort.CanIssueGlobal(lines) {
+		sm.st.IssueStallsMem++
+		sm.memBlocked = true
+		return false
+	}
+	res := sm.memPort.GlobalAccess(now, lines)
+	w.memCounter++
+	w.memLinesValid = false
+	ii := res.Transactions
+	if ii < 1 {
+		ii = 1
+	}
+	latency := in.Latency() + ii - 1
+	sm.commitIssue(now, w, in, p, ii, latency)
+	if isa.IsLoad(in.Op) {
+		sm.scheduleRetire(res.CompleteAt, w, 1<<uint(in.Dst))
+	}
+	return true
+}
+
+// commitIssue performs the bookkeeping common to every successful issue.
+// Non-memory register results retire after the op latency; memory loads are
+// scheduled separately by the caller (their latency comes from the memory
+// model), so here only ALU/SFU destinations are booked.
+func (sm *SM) commitIssue(now int64, w *Warp, in *isa.Instr, p *Pipe, ii, latency int) {
+	dstMask := in.DstMask()
+	finished := w.advance(in)
+	if dstMask != 0 && !isa.IsMemory(in.Op) {
+		sm.scheduleRetire(now+int64(latency), w, dstMask)
+	}
+	p.Start(now, in.Op, ii, latency)
+	if sm.tracer != nil {
+		sm.tracer(sm.id, now, w.id, in.Class(), p.Cluster())
+	}
+	sm.st.IssuedByClass[in.Class()]++
+	sm.st.IssuedTotal++
+	if finished {
+		sm.ctaLive[w.ctaSlot]--
+		if sm.ctaLive[w.ctaSlot] < 0 {
+			panic("sim: CTA live count underflow")
+		}
+		if sm.ctaLive[w.ctaSlot] == 0 {
+			sm.st.CTAsCompleted++
+		}
+	} else {
+		w.refreshState()
+	}
+}
+
+// noteGateStall records that a ready instruction could not issue because
+// its pipes were gated or port-busy (statistics only; wakeup demand itself
+// is driven by the per-class ready-detect logic in signalReadyDemand,
+// matching the paper's Figure 7 where the power-gating controller watches
+// the ready counters, not the issue arbiter).
+func (sm *SM) noteGateStall() {
+	sm.st.IssueStallsGate++
+}
+
+// signalReadyDemand implements the ready-instruction detect logic of
+// conventional power gating (Hu et al., and the paper's Fig. 7 PG_logic):
+// whenever at least one ready instruction of a class exists and no powered
+// pipe of the class can serve it, a wakeup demand is raised on the most
+// wakeable gated pipe (compensated first, then — meaningful only under
+// conventional rules — uncompensated). Exactly one pipe per class receives
+// the demand so wakeup statistics are not double counted. Because demand is
+// derived from readiness rather than from arbiter walk order, a unit whose
+// type is currently de-prioritized by GATES starts waking while the other
+// type's phase is still draining, hiding the wakeup delay.
+func (sm *SM) signalReadyDemand(rdy [isa.NumClasses]int, class isa.Class, pipes []*Pipe) {
+	if rdy[class] == 0 {
+		return
+	}
+	// A unit wakes only when the powered pipes of its class cannot serve
+	// the ready work: the wanted pipe count is bounded by both the ready
+	// count and the SM's issue width. Without this bound the ready-detect
+	// logic thrashes the sleep switch (a gated cluster would wake on every
+	// cycle any warp of its type is ready, even with a powered peer
+	// serving it) and every technique's savings collapse below zero.
+	want := rdy[class]
+	if w := len(sm.policies); want > w {
+		want = w
+	}
+	if want > len(pipes) {
+		want = len(pipes)
+	}
+	serving := 0
+	for _, p := range pipes {
+		if st := p.Gate().State(); st == gating.StActive || st == gating.StWakeup {
+			serving++
+		}
+	}
+	if serving >= want {
+		return
+	}
+	var fallback *Pipe
+	for _, p := range pipes {
+		switch p.Gate().State() {
+		case gating.StCompensated:
+			p.Gate().RequestIssue()
+			return
+		case gating.StUncompensated:
+			if fallback == nil {
+				fallback = p
+			}
+		}
+	}
+	if fallback != nil {
+		fallback.Gate().RequestIssue()
+	}
+}
+
+// tickGating advances every gating controller and the adaptive windows.
+func (sm *SM) tickGating(now int64) {
+	// Re-derive the ready counters after issue: a warp that just issued is
+	// no longer waiting, and must not wake a gated unit.
+	var rdy [isa.NumClasses]int
+	for _, w := range sm.warps {
+		if w.ready() {
+			rdy[w.current().Class()]++
+		}
+	}
+	sm.signalReadyDemand(rdy, isa.INT, sm.intPipes)
+	sm.signalReadyDemand(rdy, isa.FP, sm.fpPipes)
+	sm.signalReadyDemand(rdy, isa.SFU, []*Pipe{sm.sfuPipe})
+	sm.signalReadyDemand(rdy, isa.LDST, []*Pipe{sm.ldstPipe})
+	sm.intCoord.PreTick(sm.smState.ACTV[isa.INT])
+	sm.fpCoord.PreTick(sm.smState.ACTV[isa.FP])
+	for _, p := range sm.intPipes {
+		p.Gate().Tick(p.Busy(now))
+	}
+	for _, p := range sm.fpPipes {
+		p.Gate().Tick(p.Busy(now))
+	}
+	sm.sfuPipe.Gate().Tick(sm.sfuPipe.Busy(now))
+	sm.ldstPipe.Gate().Tick(sm.ldstPipe.Busy(now))
+
+	// Feed per-cycle critical-wakeup deltas to the adaptive windows.
+	curINT := sumCriticals(sm.intPipes)
+	curFP := sumCriticals(sm.fpPipes)
+	sm.intAdapt.Tick(int(curINT - sm.prevCritINT))
+	sm.fpAdapt.Tick(int(curFP - sm.prevCritFP))
+	sm.prevCritINT = curINT
+	sm.prevCritFP = curFP
+}
+
+// sumCriticals totals critical wakeups across a class's pipes.
+func sumCriticals(pipes []*Pipe) uint64 {
+	var n uint64
+	for _, p := range pipes {
+		n += p.Gate().Stats().CriticalWakeups
+	}
+	return n
+}
+
+// finish closes open idle runs so histograms account for every cycle.
+func (sm *SM) finish() {
+	for _, p := range sm.allPipes() {
+		p.Gate().Finish()
+	}
+}
+
+// allPipes returns every pipe of the SM.
+func (sm *SM) allPipes() []*Pipe {
+	out := make([]*Pipe, 0, len(sm.intPipes)+len(sm.fpPipes)+2)
+	out = append(out, sm.intPipes...)
+	out = append(out, sm.fpPipes...)
+	out = append(out, sm.sfuPipe, sm.ldstPipe)
+	return out
+}
+
+// Stats returns the SM's counters.
+func (sm *SM) Stats() SMStats { return sm.st }

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Add(3)
+	h.Add(3)
+	h.Add(7)
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", h.Total())
+	}
+	if h.Count(3) != 2 || h.Count(7) != 1 || h.Count(4) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.Min() != 3 || h.Max() != 7 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), (3.0+3+7)/3; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if h.Sum() != 13 {
+		t.Fatalf("Sum = %d, want 13", h.Sum())
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(5, 10)
+	h.AddN(5, 0) // no-op
+	if h.Total() != 10 || h.Count(5) != 10 {
+		t.Fatalf("AddN failed: total=%d count=%d", h.Total(), h.Count(5))
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	NewHistogram().Add(-1)
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		h.Add(v)
+	}
+	if got := h.FractionBelow(5); got != 0.4 {
+		t.Fatalf("FractionBelow(5) = %v, want 0.4", got)
+	}
+	if got := h.FractionBetween(5, 8); got != 0.3 {
+		t.Fatalf("FractionBetween(5,8) = %v, want 0.3", got)
+	}
+	if got := h.FractionAtLeast(8); got != 0.3 {
+		t.Fatalf("FractionAtLeast(8) = %v, want 0.3", got)
+	}
+}
+
+func TestHistogramRegions3SumToOne(t *testing.T) {
+	// Property: for any non-empty histogram and any idleDetect/bet, the
+	// three regions of the paper's Figure 3 partition sum to 1.
+	f := func(values []uint8, idRaw, betRaw uint8) bool {
+		if len(values) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range values {
+			h.Add(int(v))
+		}
+		id := int(idRaw % 30)
+		bet := 1 + int(betRaw%30)
+		r1, r2, r3 := h.Regions3(id, bet)
+		sum := r1 + r2 + r3
+		return sum > 0.999999 && sum < 1.000001 && r1 >= 0 && r2 >= 0 && r3 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(30)
+	a.Merge(b)
+	if a.Total() != 4 || a.Count(2) != 2 || a.Max() != 30 {
+		t.Fatalf("merge failed: %s", a)
+	}
+	if b.Total() != 2 {
+		t.Fatal("merge mutated the source")
+	}
+}
+
+func TestHistogramValuesSorted(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{9, 1, 5, 1, 9, 3} {
+		h.Add(v)
+	}
+	vs := h.Values()
+	want := []int{1, 3, 5, 9}
+	if len(vs) != len(want) {
+		t.Fatalf("Values = %v, want %v", vs, want)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vs, want)
+		}
+	}
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram()
+	if h.FractionBelow(5) != 0 || h.FractionBetween(1, 2) != 0 || h.FractionAtLeast(0) != 0 {
+		t.Fatal("empty histogram fractions should be 0")
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+// SplitMix64 is a tiny, fast, deterministic pseudo-random number generator.
+// Every stochastic choice in the simulator derives from a SplitMix64 stream
+// seeded from stable identifiers (benchmark name, SM id, warp id), which makes
+// whole-GPU simulations bit-reproducible across runs and platforms.
+//
+// The algorithm is the public-domain splitmix64 generator by Sebastiano Vigna.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next 64-bit value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *SplitMix64) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// HashString folds a string into a 64-bit seed using FNV-1a. It is used to
+// derive per-benchmark seeds from benchmark names.
+func HashString(str string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for i := 0; i < len(str); i++ {
+		h ^= uint64(str[i])
+		h *= prime
+	}
+	return h
+}
+
+// CombineSeeds mixes several seed components into one stream seed.
+func CombineSeeds(parts ...uint64) uint64 {
+	var h uint64 = 0x51f2cd7aa7a0f1e5
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return h
+}

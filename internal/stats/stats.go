@@ -1,0 +1,117 @@
+// Package stats provides the statistical primitives used throughout the
+// Warped Gates reproduction: deterministic PRNG streams, integer histograms
+// (idle-period distributions), Pearson correlation (paper Figure 6), geometric
+// means (paper Figures 8 and 10), and plain-text table rendering for the
+// figure-regeneration harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation coefficient of the
+// paired samples xs and ys. It returns 0 when fewer than two pairs are given
+// or when either series has zero variance (the coefficient is undefined; the
+// paper reports near-zero r for benchmarks whose runtime never moves, so 0 is
+// the faithful degenerate answer).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Geomean returns the geometric mean of vs. Non-positive entries are clamped
+// to a tiny positive value so that a single degenerate sample cannot zero the
+// whole mean; empty input returns 0.
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		if v <= 0 {
+			v = 1e-12
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// Mean returns the arithmetic mean of vs, or 0 for empty input.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// MinMax returns the minimum and maximum of vs. It panics on empty input.
+func MinMax(vs []float64) (lo, hi float64) {
+	if len(vs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Median returns the median of vs (average of middle two for even length),
+// or 0 for empty input. The input slice is not modified.
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), vs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// Ratio divides a by b, returning 0 when b is 0. Convenient for normalizing
+// counters that may legitimately be zero (e.g. wakeups in a benchmark that
+// never gates).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

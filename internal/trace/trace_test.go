@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/gating"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/sim"
+)
+
+func recordRun(t *testing.T, gate config.GatingKind, from, to int64) *Recorder {
+	t.Helper()
+	cfg := config.Small()
+	cfg.NumSMs = 1
+	cfg.Scheduler = config.SchedGATES
+	cfg.Gating = gate
+	cfg.MaxCycles = int(to) + 1000
+	k := kernels.MustBenchmark("hotspot").Scale(0.2)
+	gpu, err := sim.NewGPU(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder(0, from, to)
+	r.Attach(gpu)
+	gpu.Run()
+	return r
+}
+
+func TestRecorderCapturesWindow(t *testing.T) {
+	r := recordRun(t, config.GateCoordBlackout, 100, 300)
+	lanes := r.Lanes()
+	if len(lanes) != 6 {
+		t.Fatalf("lanes = %d, want 6 (INT0 INT1 FP0 FP1 SFU LDST)", len(lanes))
+	}
+	for _, l := range lanes {
+		if got := len(r.Samples(l)); got != 200 {
+			t.Fatalf("lane %s has %d samples, want 200", l, got)
+		}
+	}
+	from, to := r.Window()
+	if from != 100 || to != 300 {
+		t.Fatalf("window = %d..%d", from, to)
+	}
+}
+
+func TestRecorderIgnoresOtherSMs(t *testing.T) {
+	cfg := config.Small()
+	cfg.NumSMs = 2
+	cfg.MaxCycles = 2000
+	k := kernels.MustBenchmark("nw").Scale(0.2)
+	gpu, err := sim.NewGPU(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder(1, 0, 500)
+	r.Attach(gpu)
+	gpu.Run()
+	// Only SM 1 contributes; lane count unchanged, and issues belong to the
+	// traced window.
+	if len(r.Lanes()) != 6 {
+		t.Fatalf("lanes = %d", len(r.Lanes()))
+	}
+	for _, ev := range r.Issues() {
+		if ev.Cycle < 0 || ev.Cycle >= 500 {
+			t.Fatalf("issue outside window at cycle %d", ev.Cycle)
+		}
+	}
+}
+
+func TestWaveformRendering(t *testing.T) {
+	r := recordRun(t, config.GateCoordBlackout, 0, 160)
+	wf := r.Waveform(80)
+	for _, want := range []string{"INT0", "FP1", "SFU", "LDST", "cycle 0", "cycle 80"} {
+		if !strings.Contains(wf, want) {
+			t.Fatalf("waveform missing %q:\n%s", want, wf)
+		}
+	}
+	// Busy cycles must appear somewhere in a 160-cycle window of hotspot.
+	if !strings.Contains(wf, "#") {
+		t.Fatal("waveform shows no busy cycles")
+	}
+}
+
+func TestGlyphMapping(t *testing.T) {
+	cases := []struct {
+		s    Sample
+		want byte
+	}{
+		{Sample{Busy: true, State: gating.StActive}, '#'},
+		{Sample{State: gating.StActive}, '.'},
+		{Sample{State: gating.StUncompensated}, 'u'},
+		{Sample{State: gating.StCompensated}, 'C'},
+		{Sample{State: gating.StWakeup}, 'w'},
+	}
+	for _, c := range cases {
+		if got := c.s.Glyph(); got != c.want {
+			t.Errorf("glyph(%+v) = %c, want %c", c.s, got, c.want)
+		}
+	}
+}
+
+func TestFractions(t *testing.T) {
+	r := recordRun(t, config.GateCoordBlackout, 0, 2000)
+	var sawGated bool
+	for _, l := range r.Lanes() {
+		g := r.GatedFraction(l)
+		b := r.BusyFraction(l)
+		if g < 0 || g > 1 || b < 0 || b > 1 {
+			t.Fatalf("lane %s fractions out of range: gated=%v busy=%v", l, g, b)
+		}
+		if g > 0 {
+			sawGated = true
+		}
+	}
+	if !sawGated {
+		t.Fatal("no lane ever gated under Coordinated Blackout")
+	}
+	// Unknown lane yields zeros.
+	if r.GatedFraction(Lane{Class: isa.INT, Cluster: 9}) != 0 {
+		t.Fatal("unknown lane should report 0")
+	}
+}
+
+func TestNoGatingTraceIsCleanOfGatedStates(t *testing.T) {
+	r := recordRun(t, config.GateNone, 0, 1000)
+	for _, l := range r.Lanes() {
+		if r.GatedFraction(l) != 0 {
+			t.Fatalf("lane %s gated under GateNone", l)
+		}
+	}
+}
+
+func TestRecorderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty window accepted")
+		}
+	}()
+	NewRecorder(0, 10, 10)
+}
+
+func TestLaneString(t *testing.T) {
+	if (Lane{Class: isa.INT, Cluster: 1}).String() != "INT1" {
+		t.Fatal("INT lane name wrong")
+	}
+	if (Lane{Class: isa.SFU}).String() != "SFU" {
+		t.Fatal("SFU lane name wrong")
+	}
+}
