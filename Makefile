@@ -1,0 +1,28 @@
+# Tier-1 verification is `make check`; `make ci` adds vet and the race
+# detector, which is what makes the concurrent experiment runner
+# (singleflight cache + worker pool) trustworthy.
+
+GO ?= go
+
+.PHONY: build test race vet bench check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race run matters most for internal/core (the concurrent runner), but
+# runs the whole module so nothing regresses silently.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+check: build test
+
+ci: build vet test race

@@ -11,6 +11,8 @@
 //
 //	WARPEDGATES_SMS=6      simulate 6 SMs instead of the GTX480's 15
 //	WARPEDGATES_SCALE=0.5  halve every benchmark's work
+//	WARPEDGATES_J=4        cap the simulation worker pool at 4 (default:
+//	                       all cores; figure output is identical at any J)
 package warpedgates
 
 import (
@@ -44,6 +46,11 @@ func getRunner() *core.Runner {
 		if v := os.Getenv("WARPEDGATES_SCALE"); v != "" {
 			if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
 				benchRunner.Scale = f
+			}
+		}
+		if v := os.Getenv("WARPEDGATES_J"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				benchRunner.Parallelism = n
 			}
 		}
 	})

@@ -7,7 +7,6 @@ import (
 	"warpedgates/internal/config"
 	"warpedgates/internal/core"
 	"warpedgates/internal/isa"
-	"warpedgates/internal/kernels"
 	"warpedgates/internal/stats"
 )
 
@@ -20,6 +19,7 @@ func cmdCharacterize(args []string) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	sms := fs.Int("sms", 15, "number of SMs")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -27,17 +27,19 @@ func cmdCharacterize(args []string) error {
 	cfg.NumSMs = *sms
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
+	r.Parallelism = *jobs
 
+	reps, err := r.RunAllParallel(core.Baseline)
+	if err != nil {
+		return err
+	}
 	t := stats.NewTable("Benchmark suite characterization (baseline two-level, no gating)",
 		"benchmark", "cycles", "INT", "FP", "SFU", "LDST",
 		"warps avg", "warps max", "L1 miss", "INT idle", "FP idle")
-	for _, b := range kernels.BenchmarkNames {
-		rep, err := r.Run(b, core.Baseline)
-		if err != nil {
-			return err
-		}
+	for _, nr := range reps {
+		rep := nr.Report
 		mix := rep.InstructionMix()
-		t.AddRowf(b, rep.Cycles,
+		t.AddRowf(nr.Benchmark, rep.Cycles,
 			mix[isa.INT], mix[isa.FP], mix[isa.SFU], mix[isa.LDST],
 			rep.ActiveWarpAvg, rep.ActiveWarpMax, rep.L1MissRate,
 			rep.Domains[isa.INT].IdleFraction(), rep.Domains[isa.FP].IdleFraction())

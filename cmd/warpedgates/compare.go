@@ -18,6 +18,7 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	sms := fs.Int("sms", 15, "number of SMs")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -25,6 +26,7 @@ func cmdCompare(args []string) error {
 	cfg.NumSMs = *sms
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
+	r.Parallelism = *jobs
 
 	fig9a, err := core.RunFig9(r, isa.INT)
 	if err != nil {

@@ -9,7 +9,7 @@
 //	warpedgates run -bench hotspot -tech WarpedGates [-sms 15] [-scale 1.0]
 //	    Simulate one benchmark under one technique and print the report.
 //
-//	warpedgates figure -id fig9a [-scale 1.0] [-sms 15] [-csv DIR]
+//	warpedgates figure -id fig9a [-scale 1.0] [-sms 15] [-j 8] [-csv DIR]
 //	    Regenerate one paper figure (fig1b fig3 fig4 fig5a fig5b fig6 fig8a
 //	    fig8b fig8c fig9a fig9b fig10 fig11a fig11b hw), one of the ablation
 //	    studies (ablation-clusters ablation-maxhold ablation-idledetect
@@ -75,11 +75,14 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   warpedgates list
-  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F]
-  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-csv DIR] [-v]
+  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F] [-j N]
+  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-csv DIR] [-v]
   warpedgates trace -bench <name> -tech <technique> [-from C] [-cycles N]
-  warpedgates characterize [-sms N] [-scale F]
-  warpedgates compare [-sms N] [-scale F]`)
+  warpedgates characterize [-sms N] [-scale F] [-j N]
+  warpedgates compare [-sms N] [-scale F] [-j N]
+
+-j bounds the simulation worker pool (0, the default, uses every core);
+figure regeneration is deterministic at any -j.`)
 }
 
 func cmdList() error {
@@ -107,6 +110,7 @@ func cmdRun(args []string) error {
 	tech := fs.String("tech", "WarpedGates", "technique name")
 	sms := fs.Int("sms", 15, "number of SMs")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +122,7 @@ func cmdRun(args []string) error {
 	cfg.NumSMs = *sms
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
+	r.Parallelism = *jobs
 
 	rep, err := r.Run(*bench, t)
 	if err != nil {
@@ -143,6 +148,7 @@ func cmdFigure(args []string) error {
 	id := fs.String("id", "all", "figure id or 'all'")
 	sms := fs.Int("sms", 15, "number of SMs")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	verbose := fs.Bool("v", false, "print progress")
 	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
 	if err := fs.Parse(args); err != nil {
@@ -157,6 +163,7 @@ func cmdFigure(args []string) error {
 	cfg.NumSMs = *sms
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
+	r.Parallelism = *jobs
 	if *verbose {
 		r.Progress = func(b string, c config.Config) {
 			fmt.Fprintf(os.Stderr, "  simulating %s under %s/%s (idle=%d bet=%d wake=%d adaptive=%v)\n",

@@ -36,10 +36,23 @@ func RunAblationClusters(r *Runner, clusterCounts []int) (*AblationResult, error
 	}
 	res := &AblationResult{Name: "Ablation — SP clusters per SM (Fermi 2, GCN 4, Kepler 6)"}
 	model := power.Default(r.Base.BreakEven)
+	var jobs []Job
 	for _, n := range clusterCounts {
 		if n <= 0 {
 			return nil, fmt.Errorf("core: invalid cluster count %d", n)
 		}
+		baseCfg := Baseline.Apply(r.Base)
+		baseCfg.NumSPClusters = n
+		cfg := WarpedGates.Apply(r.Base)
+		cfg.NumSPClusters = n
+		for _, b := range kernels.BenchmarkNames {
+			jobs = append(jobs, Job{Bench: b, Cfg: baseCfg}, Job{Bench: b, Cfg: cfg})
+		}
+	}
+	if err := r.Prefetch(jobs); err != nil {
+		return nil, err
+	}
+	for _, n := range clusterCounts {
 		baseCfg := Baseline.Apply(r.Base)
 		baseCfg.NumSPClusters = n
 		cfg := WarpedGates.Apply(r.Base)
@@ -90,10 +103,21 @@ func RunAblationMaxHold(r *Runner, holds []int) (*AblationResult, error) {
 	}
 	res := &AblationResult{Name: "Ablation — GATES forced priority switch threshold"}
 	model := power.Default(r.Base.BreakEven)
+	jobs := techniqueJobs(r.Base, kernels.BenchmarkNames, Baseline)
 	for _, h := range holds {
 		if h < 0 {
 			return nil, fmt.Errorf("core: invalid max hold %d", h)
 		}
+		cfg := WarpedGates.Apply(r.Base)
+		cfg.GATESMaxHold = h
+		for _, b := range kernels.BenchmarkNames {
+			jobs = append(jobs, Job{Bench: b, Cfg: cfg})
+		}
+	}
+	if err := r.Prefetch(jobs); err != nil {
+		return nil, err
+	}
+	for _, h := range holds {
 		cfg := WarpedGates.Apply(r.Base)
 		cfg.GATESMaxHold = h
 		var intSum, fpSum float64
@@ -142,6 +166,17 @@ func RunAblationMaxHold(r *Runner, holds []int) (*AblationResult, error) {
 func RunAblationAuxBlackout(r *Runner) (*AblationResult, error) {
 	res := &AblationResult{Name: "Ablation — Blackout on SFU/LDST units"}
 	model := power.Default(r.Base.BreakEven)
+	jobs := techniqueJobs(r.Base, kernels.BenchmarkNames, Baseline)
+	for _, aux := range []bool{false, true} {
+		cfg := WarpedGates.Apply(r.Base)
+		cfg.BlackoutAux = aux
+		for _, b := range kernels.BenchmarkNames {
+			jobs = append(jobs, Job{Bench: b, Cfg: cfg})
+		}
+	}
+	if err := r.Prefetch(jobs); err != nil {
+		return nil, err
+	}
 	for _, aux := range []bool{false, true} {
 		cfg := WarpedGates.Apply(r.Base)
 		cfg.BlackoutAux = aux
@@ -193,7 +228,19 @@ func RunAblationAuxBlackout(r *Runner) (*AblationResult, error) {
 func RunAblationScheduler(r *Runner) (*AblationResult, error) {
 	res := &AblationResult{Name: "Ablation — scheduler under conventional gating"}
 	model := power.Default(r.Base.BreakEven)
-	for _, kind := range []config.SchedulerKind{config.SchedLRR, config.SchedTwoLevel, config.SchedGATES} {
+	kinds := []config.SchedulerKind{config.SchedLRR, config.SchedTwoLevel, config.SchedGATES}
+	jobs := techniqueJobs(r.Base, kernels.BenchmarkNames, Baseline)
+	for _, kind := range kinds {
+		cfg := ConvPG.Apply(r.Base)
+		cfg.Scheduler = kind
+		for _, b := range kernels.BenchmarkNames {
+			jobs = append(jobs, Job{Bench: b, Cfg: cfg})
+		}
+	}
+	if err := r.Prefetch(jobs); err != nil {
+		return nil, err
+	}
+	for _, kind := range kinds {
 		cfg := ConvPG.Apply(r.Base)
 		cfg.Scheduler = kind
 		var intSum, fpSum, idleSum float64
@@ -241,10 +288,21 @@ func RunAblationIdleDetect(r *Runner, windows []int) (*AblationResult, error) {
 	}
 	res := &AblationResult{Name: "Ablation — static idle-detect window under ConvPG"}
 	model := power.Default(r.Base.BreakEven)
+	jobs := techniqueJobs(r.Base, kernels.BenchmarkNames, Baseline)
 	for _, w := range windows {
 		if w < 0 {
 			return nil, fmt.Errorf("core: invalid idle-detect %d", w)
 		}
+		cfg := ConvPG.Apply(r.Base)
+		cfg.IdleDetect = w
+		for _, b := range kernels.BenchmarkNames {
+			jobs = append(jobs, Job{Bench: b, Cfg: cfg})
+		}
+	}
+	if err := r.Prefetch(jobs); err != nil {
+		return nil, err
+	}
+	for _, w := range windows {
 		cfg := ConvPG.Apply(r.Base)
 		cfg.IdleDetect = w
 		var intSum, fpSum float64

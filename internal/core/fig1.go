@@ -32,6 +32,9 @@ type Fig1bResult struct {
 // integer and floating point units without gating and under conventional
 // power gating, normalized per benchmark to the no-gating total of the unit.
 func RunFig1b(r *Runner) (*Fig1bResult, error) {
+	if err := r.Prefetch(techniqueJobs(r.Base, kernels.BenchmarkNames, Baseline, ConvPG)); err != nil {
+		return nil, err
+	}
 	model := power.Default(r.Base.BreakEven)
 	res := &Fig1bResult{}
 	for _, tech := range []Technique{Baseline, ConvPG} {

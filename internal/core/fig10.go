@@ -22,6 +22,10 @@ type Fig10Result struct {
 // RunFig10 regenerates paper Figure 10: the performance impact of each
 // gating technique, normalized to the no-gating two-level baseline.
 func RunFig10(r *Runner) (*Fig10Result, error) {
+	if err := r.Prefetch(techniqueJobs(r.Base, kernels.BenchmarkNames,
+		append([]Technique{Baseline}, GatedTechniques()...)...)); err != nil {
+		return nil, err
+	}
 	res := &Fig10Result{Geomean: map[Technique]float64{}}
 	series := map[Technique][]float64{}
 	for _, b := range kernels.BenchmarkNames {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"warpedgates/internal/config"
 	"warpedgates/internal/isa"
 	"warpedgates/internal/kernels"
 	"warpedgates/internal/power"
@@ -46,12 +47,19 @@ type configMut = struct {
 	WakeupDelay int
 }
 
+// fig11Sweep is one sweep point's resolved configuration.
+type fig11Sweep struct {
+	tech Technique
+	v    int
+	cfg  config.Config
+}
+
 // runFig11 runs one sensitivity sweep.
 func runFig11(r *Runner, param string, values []int, set func(*configMut, int)) (*Fig11Result, error) {
 	if len(values) == 0 {
 		return nil, fmt.Errorf("core: Fig. 11 sweep needs at least one value")
 	}
-	res := &Fig11Result{Param: param}
+	var sweeps []fig11Sweep
 	for _, tech := range []Technique{ConvPG, WarpedGates} {
 		for _, v := range values {
 			cfg := tech.Apply(r.Base)
@@ -59,36 +67,49 @@ func runFig11(r *Runner, param string, values []int, set func(*configMut, int)) 
 			set(&mut, v)
 			cfg.BreakEven = mut.BreakEven
 			cfg.WakeupDelay = mut.WakeupDelay
-			model := power.Default(cfg.BreakEven)
-
-			var intSum, fpSum float64
-			var nInt, nFp float64
-			var perfs []float64
-			for _, b := range kernels.BenchmarkNames {
-				rep, err := r.RunCfg(b, cfg)
-				if err != nil {
-					return nil, err
-				}
-				base, err := r.Run(b, Baseline)
-				if err != nil {
-					return nil, err
-				}
-				intSum += model.AnalyzeAgainst(rep, base, isa.INT).StaticSavings()
-				nInt++
-				if !kernels.IntegerOnly(b) {
-					fpSum += model.AnalyzeAgainst(rep, base, isa.FP).StaticSavings()
-					nFp++
-				}
-				perfs = append(perfs, stats.Ratio(float64(base.Cycles), float64(rep.Cycles)))
-			}
-			res.Points = append(res.Points, Fig11Point{
-				Technique:  tech,
-				ParamValue: v,
-				IntSavings: intSum / nInt,
-				FpSavings:  fpSum / nFp,
-				Perf:       stats.Geomean(perfs),
-			})
+			sweeps = append(sweeps, fig11Sweep{tech: tech, v: v, cfg: cfg})
 		}
+	}
+	jobs := techniqueJobs(r.Base, kernels.BenchmarkNames, Baseline)
+	for _, s := range sweeps {
+		for _, b := range kernels.BenchmarkNames {
+			jobs = append(jobs, Job{Bench: b, Cfg: s.cfg})
+		}
+	}
+	if err := r.Prefetch(jobs); err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Param: param}
+	for _, s := range sweeps {
+		model := power.Default(s.cfg.BreakEven)
+
+		var intSum, fpSum float64
+		var nInt, nFp float64
+		var perfs []float64
+		for _, b := range kernels.BenchmarkNames {
+			rep, err := r.RunCfg(b, s.cfg)
+			if err != nil {
+				return nil, err
+			}
+			base, err := r.Run(b, Baseline)
+			if err != nil {
+				return nil, err
+			}
+			intSum += model.AnalyzeAgainst(rep, base, isa.INT).StaticSavings()
+			nInt++
+			if !kernels.IntegerOnly(b) {
+				fpSum += model.AnalyzeAgainst(rep, base, isa.FP).StaticSavings()
+				nFp++
+			}
+			perfs = append(perfs, stats.Ratio(float64(base.Cycles), float64(rep.Cycles)))
+		}
+		res.Points = append(res.Points, Fig11Point{
+			Technique:  s.tech,
+			ParamValue: s.v,
+			IntSavings: intSum / nInt,
+			FpSavings:  fpSum / nFp,
+			Perf:       stats.Geomean(perfs),
+		})
 	}
 
 	tab := stats.NewTable(fmt.Sprintf("Fig. 11 — sensitivity to %s", param),

@@ -44,7 +44,11 @@ func RunFig3(r *Runner, benchmark string) (*Fig3Result, error) {
 	res := &Fig3Result{Benchmark: benchmark}
 	idle := r.Base.IdleDetect
 	bet := r.Base.BreakEven
-	for _, tech := range []Technique{ConvPG, GATESTech, NaiveBlackout} {
+	techs := []Technique{ConvPG, GATESTech, NaiveBlackout}
+	if err := r.Prefetch(techniqueJobs(r.Base, []string{benchmark}, techs...)); err != nil {
+		return nil, err
+	}
+	for _, tech := range techs {
 		rep, err := r.Run(benchmark, tech)
 		if err != nil {
 			return nil, err

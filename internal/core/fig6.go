@@ -37,6 +37,18 @@ type Fig6Result struct {
 // paper's justification for using critical wakeups as the control signal of
 // Adaptive idle detect.
 func RunFig6(r *Runner, lo, hi int) (*Fig6Result, error) {
+	var jobs []Job
+	for _, b := range kernels.BenchmarkNames {
+		jobs = append(jobs, Job{Bench: b, Cfg: Baseline.Apply(r.Base)})
+		for id := lo; id <= hi; id++ {
+			cfg := CoordBlackout.Apply(r.Base)
+			cfg.IdleDetect = id
+			jobs = append(jobs, Job{Bench: b, Cfg: cfg})
+		}
+	}
+	if err := r.Prefetch(jobs); err != nil {
+		return nil, err
+	}
 	res := &Fig6Result{}
 	t := stats.NewTable("Fig. 6 — critical wakeups vs normalized runtime (Pearson r)",
 		"benchmark", "r", "points(idle-detect:criticals/1k:runtime)")

@@ -47,6 +47,11 @@ var (
 // 8b (cycles in compensated state) and 8c (normalized wakeups) for the
 // integer units.
 func RunFig8(r *Runner) (*Fig8Result, error) {
+	// Union of the three panels' series plus the two normalization runs.
+	if err := r.Prefetch(techniqueJobs(r.Base, kernels.BenchmarkNames,
+		Baseline, ConvPG, GATESTech, CoordBlackout, WarpedGates)); err != nil {
+		return nil, err
+	}
 	res := &Fig8Result{
 		GeomeanIdle:    map[Technique]float64{},
 		GeomeanComp:    map[Technique]float64{},

@@ -33,6 +33,16 @@ func RunFig9(r *Runner, class isa.Class) (*Fig9Result, error) {
 	if class != isa.INT && class != isa.FP {
 		return nil, fmt.Errorf("core: Fig. 9 covers INT and FP only, got %s", class)
 	}
+	var jobs []Job
+	for _, b := range kernels.BenchmarkNames {
+		if class == isa.FP && kernels.IntegerOnly(b) {
+			continue
+		}
+		jobs = append(jobs, techniqueJobs(r.Base, []string{b}, append([]Technique{Baseline}, GatedTechniques()...)...)...)
+	}
+	if err := r.Prefetch(jobs); err != nil {
+		return nil, err
+	}
 	model := power.Default(r.Base.BreakEven)
 	res := &Fig9Result{Class: class, Average: map[Technique]float64{}}
 	sums := map[Technique]float64{}

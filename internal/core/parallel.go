@@ -1,0 +1,133 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/sim"
+)
+
+// Job is one simulation request for RunMany: a benchmark name and the full
+// configuration to run it under.
+type Job struct {
+	Bench string
+	Cfg   config.Config
+}
+
+// techniqueJobs builds the benches × techniques cross product against base,
+// in (bench, technique) iteration order.
+func techniqueJobs(base config.Config, benches []string, techs ...Technique) []Job {
+	jobs := make([]Job, 0, len(benches)*len(techs))
+	for _, b := range benches {
+		for _, t := range techs {
+			jobs = append(jobs, Job{Bench: b, Cfg: t.Apply(base)})
+		}
+	}
+	return jobs
+}
+
+// workers returns the effective worker-pool bound.
+func (r *Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunMany simulates every job on a bounded worker pool (Parallelism workers,
+// default GOMAXPROCS) and returns reports aligned with jobs. Duplicate jobs
+// cost one simulation: the singleflight cache collapses them. On failure the
+// first error wins: remaining queued jobs are cancelled, in-flight ones
+// finish, and the error is returned with a nil slice. Results are positional,
+// so output assembled from them is identical to a serial loop over jobs.
+func (r *Runner) RunMany(jobs []Job) ([]*sim.Report, error) {
+	out := make([]*sim.Report, len(jobs))
+	workers := r.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			rep, err := r.RunCfg(j.Bench, j.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = rep
+		}
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		stopOnce sync.Once
+		stop     = make(chan struct{})
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range jobs {
+			select {
+			case next <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rep, err := r.RunCfg(jobs[i].Bench, jobs[i].Cfg)
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = rep
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// RunAllParallel simulates every paper benchmark under technique t on the
+// worker pool and returns reports in kernels.BenchmarkNames order. Because
+// each simulation is deterministic and results are assembled positionally,
+// the output is byte-identical to serial RunAllOrdered.
+func (r *Runner) RunAllParallel(t Technique) ([]NamedReport, error) {
+	reps, err := r.RunMany(techniqueJobs(r.Base, kernels.BenchmarkNames, t))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NamedReport, len(reps))
+	for i, rep := range reps {
+		out[i] = NamedReport{Benchmark: kernels.BenchmarkNames[i], Report: rep}
+	}
+	return out, nil
+}
+
+// Prefetch warms the cache with every job in parallel, failing fast on the
+// first error. Figure drivers call it with exactly the job set their serial
+// aggregation loop consumes: the loop then runs entirely against the cache,
+// which keeps figure assembly (and therefore output bytes) identical to the
+// serial path while the simulations themselves use every core.
+func (r *Runner) Prefetch(jobs []Job) error {
+	_, err := r.RunMany(jobs)
+	return err
+}

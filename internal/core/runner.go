@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"warpedgates/internal/config"
@@ -11,19 +12,38 @@ import (
 
 // Runner executes benchmark simulations with memoization: many figures reuse
 // the same (benchmark, technique) runs, and the cache guarantees each unique
-// configuration is simulated exactly once. Runner is safe for concurrent use.
+// configuration is simulated exactly once — including under concurrency,
+// where duplicate in-flight requests block on the single real run
+// (singleflight) and share its report. Runner is safe for concurrent use.
 type Runner struct {
 	// Base is the machine configuration figures are evaluated on; technique
 	// and sweep parameters are applied on top of copies of it.
 	Base config.Config
 	// Scale multiplies each kernel's work (iterations and CTA count).
-	// 1.0 is the full evaluation; tests use small scales.
+	// 1.0 is the full evaluation; tests use small scales. It must be a
+	// positive finite value; RunCfg rejects anything else.
 	Scale float64
+	// Parallelism bounds the worker pool of RunMany/RunAllParallel/Prefetch.
+	// Zero (the default) means runtime.GOMAXPROCS(0). It does not limit
+	// plain Run/RunCfg calls, which always execute on the caller.
+	Parallelism int
 	// Progress, when non-nil, is invoked before each uncached simulation.
+	// Under RunMany/RunAllParallel it is called concurrently from worker
+	// goroutines, so the callback must be safe for concurrent use. Set it
+	// before the first run; mutating it while runs are in flight is a race.
 	Progress func(benchmark string, cfg config.Config)
 
 	mu    sync.Mutex
-	cache map[runKey]*sim.Report
+	cache map[runKey]*cacheEntry
+}
+
+// cacheEntry is one singleflight slot: the first requester of a key becomes
+// the leader and simulates; everyone else blocks on done and shares the
+// result. rep and err are written exactly once, before done is closed.
+type cacheEntry struct {
+	done chan struct{}
+	rep  *sim.Report
+	err  error
 }
 
 // runKey identifies a unique simulation.
@@ -44,20 +64,41 @@ type runKey struct {
 }
 
 // NewRunner builds a runner over the given base configuration at full scale.
+// The initial Scale of 1.0 is always valid; callers that override Scale get
+// it validated on every RunCfg (non-finite values would poison runKey: NaN
+// never equals itself, so a NaN scale could never hit the cache).
 func NewRunner(base config.Config) *Runner {
-	return &Runner{Base: base, Scale: 1.0, cache: make(map[runKey]*sim.Report)}
+	return &Runner{Base: base, Scale: 1.0, cache: make(map[runKey]*cacheEntry)}
 }
 
 // DefaultRunner returns a runner over the paper's GTX480 baseline.
 func DefaultRunner() *Runner { return NewRunner(config.GTX480()) }
+
+// checkScale rejects scale values that cannot key the cache or scale a
+// kernel: NaN, ±Inf and non-positive values.
+func checkScale(s float64) error {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return fmt.Errorf("core: runner Scale must be finite, got %v", s)
+	}
+	if s <= 0 {
+		return fmt.Errorf("core: runner Scale must be positive, got %v", s)
+	}
+	return nil
+}
 
 // Run simulates benchmark bench under technique t on the base configuration.
 func (r *Runner) Run(bench string, t Technique) (*sim.Report, error) {
 	return r.RunCfg(bench, t.Apply(r.Base))
 }
 
-// RunCfg simulates bench under an explicit configuration (for sweeps).
+// RunCfg simulates bench under an explicit configuration (for sweeps). For a
+// given key the simulation runs exactly once: concurrent duplicate requests
+// block on the first one and share its report. Failed runs are not cached,
+// so a later call may retry.
 func (r *Runner) RunCfg(bench string, cfg config.Config) (*sim.Report, error) {
+	if err := checkScale(r.Scale); err != nil {
+		return nil, err
+	}
 	key := runKey{
 		bench:      bench,
 		scheduler:  cfg.Scheduler,
@@ -74,12 +115,27 @@ func (r *Runner) RunCfg(bench string, cfg config.Config) (*sim.Report, error) {
 		scale:      r.Scale,
 	}
 	r.mu.Lock()
-	if rep, ok := r.cache[key]; ok {
+	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		return rep, nil
+		<-e.done
+		return e.rep, e.err
 	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
 	r.mu.Unlock()
 
+	e.rep, e.err = r.simulate(bench, cfg)
+	if e.err != nil {
+		r.mu.Lock()
+		delete(r.cache, key)
+		r.mu.Unlock()
+	}
+	close(e.done)
+	return e.rep, e.err
+}
+
+// simulate performs one uncached simulation (the singleflight leader path).
+func (r *Runner) simulate(bench string, cfg config.Config) (*sim.Report, error) {
 	k, err := kernels.Benchmark(bench)
 	if err != nil {
 		return nil, err
@@ -94,16 +150,18 @@ func (r *Runner) RunCfg(bench string, cfg config.Config) (*sim.Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building GPU for %s: %w", bench, err)
 	}
-	rep := gpu.Run()
-
-	r.mu.Lock()
-	r.cache[key] = rep
-	r.mu.Unlock()
-	return rep, nil
+	return gpu.Run(), nil
 }
 
-// RunAll simulates every paper benchmark under technique t, returning reports
-// keyed by benchmark name in kernels.BenchmarkNames order.
+// NamedReport pairs a benchmark name with its report, for ordered results.
+type NamedReport struct {
+	Benchmark string
+	Report    *sim.Report
+}
+
+// RunAll simulates every paper benchmark under technique t, returning
+// reports keyed by benchmark name. The map has no defined iteration order;
+// use RunAllOrdered or RunAllParallel when order matters.
 func (r *Runner) RunAll(t Technique) (map[string]*sim.Report, error) {
 	out := make(map[string]*sim.Report, len(kernels.BenchmarkNames))
 	for _, b := range kernels.BenchmarkNames {
@@ -112,6 +170,20 @@ func (r *Runner) RunAll(t Technique) (map[string]*sim.Report, error) {
 			return nil, err
 		}
 		out[b] = rep
+	}
+	return out, nil
+}
+
+// RunAllOrdered simulates every paper benchmark under technique t serially,
+// returning reports in kernels.BenchmarkNames order.
+func (r *Runner) RunAllOrdered(t Technique) ([]NamedReport, error) {
+	out := make([]NamedReport, 0, len(kernels.BenchmarkNames))
+	for _, b := range kernels.BenchmarkNames {
+		rep, err := r.Run(b, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NamedReport{Benchmark: b, Report: rep})
 	}
 	return out, nil
 }
@@ -134,7 +206,8 @@ func (r *Runner) Performance(bench string, t Technique) (float64, error) {
 	return float64(base.Cycles) / float64(rep.Cycles), nil
 }
 
-// CacheSize returns the number of memoized simulations (for tests).
+// CacheSize returns the number of memoized simulations, counting in-flight
+// singleflight entries (for tests).
 func (r *Runner) CacheSize() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

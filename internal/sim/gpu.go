@@ -46,20 +46,18 @@ func (g *GPU) Run() *Report {
 			g.ranOut = true
 			break
 		}
-		allDone := true
-		for _, sm := range g.sms {
-			if !sm.done() {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			break
-		}
+		// Single pass over the SM array: step every unfinished SM and detect
+		// completion from the same scan (an SM's done state never depends on
+		// another SM within a cycle, so one pass equals the old check+step).
+		stepped := false
 		for _, sm := range g.sms {
 			if !sm.done() {
 				sm.step(g.cycle)
+				stepped = true
 			}
+		}
+		if !stepped {
+			break
 		}
 		g.cycle++
 	}
