@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench check ci
+.PHONY: build test race vet bench check verify ci
 
 build:
 	$(GO) build ./...
@@ -25,4 +25,15 @@ bench:
 
 check: build test
 
-ci: build vet test race
+# The verification harness: the full benchmark × technique matrix under the
+# cycle-level invariant checker (with the race detector — the checked matrix
+# exercises the parallel runner), the golden-corpus drift check, and a
+# checked end-to-end run of the verify subcommand on a small machine.
+# Regenerate the corpus after an intentional model change with:
+#   go test ./internal/core -run GoldenMatrix -update
+verify:
+	$(GO) test -race ./internal/check/
+	$(GO) test ./internal/core -run GoldenMatrix
+	$(GO) run ./cmd/warpedgates verify -sms 2 -scale 0.1
+
+ci: build vet test race verify

@@ -18,6 +18,10 @@
 //	warpedgates trace -bench hotspot -tech WarpedGates
 //	    Render per-cycle ASCII waveforms of every gating domain.
 //
+//	warpedgates verify [-sms 15] [-scale 1.0] [-j 8] [-bench NAME] [-tech NAME]
+//	    Run the benchmark x technique matrix with the cycle-level invariant
+//	    checker attached and fail on any violation.
+//
 //	warpedgates characterize
 //	    Print the benchmark suite's workload characterization.
 //
@@ -55,6 +59,8 @@ func main() {
 		err = cmdFigure(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "characterize":
 		err = cmdCharacterize(os.Args[2:])
 	case "compare":
@@ -78,6 +84,7 @@ func usage() {
   warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F] [-j N]
   warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-csv DIR] [-v]
   warpedgates trace -bench <name> -tech <technique> [-from C] [-cycles N]
+  warpedgates verify [-sms N] [-scale F] [-j N] [-bench <name>] [-tech <technique>] [-v]
   warpedgates characterize [-sms N] [-scale F] [-j N]
   warpedgates compare [-sms N] [-scale F] [-j N]
 

@@ -1,0 +1,271 @@
+package check
+
+// White-box tests: the checker must not only pass on the real simulator, it
+// must *fail* on broken streams. These tests feed synthetic probe/tracer
+// sequences straight into the shadow state machine and assert each rule
+// fires, so a future refactor cannot quietly neuter the harness.
+
+import (
+	"strings"
+	"testing"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/gating"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/sim"
+)
+
+// testCfg is a minimal config for synthetic streams: break-even 3, wakeup 2,
+// one scheduler, so violation windows are short.
+func testCfg() config.Config {
+	cfg := config.Small()
+	cfg.BreakEven = 3
+	cfg.WakeupDelay = 2
+	cfg.NumSchedulers = 1
+	return cfg
+}
+
+// lane builds the single-lane probe slice used by the synthetic streams.
+func lane(busy bool, st gating.State) []sim.LaneState {
+	return []sim.LaneState{{Class: isa.INT, Cluster: 0, Busy: busy, State: st}}
+}
+
+// hasRule reports whether any recorded violation matches rule.
+func hasRule(c *Checker, rule string) bool {
+	for _, v := range c.Violations() {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// feed plays a sequence of (busy, state) observations into one lane.
+func feed(c *Checker, seq ...sim.LaneState) {
+	for i, ls := range seq {
+		c.onProbe(0, int64(i), []sim.LaneState{ls})
+	}
+}
+
+func ls(busy bool, st gating.State) sim.LaneState {
+	return sim.LaneState{Class: isa.INT, Cluster: 0, Busy: busy, State: st}
+}
+
+func TestDetectsBusyWhileUnpowered(t *testing.T) {
+	c := New(testCfg(), nil)
+	feed(c, ls(false, gating.StUncompensated), ls(true, gating.StUncompensated))
+	if !hasRule(c, "busy-while-unpowered") {
+		t.Fatalf("busy gated lane not flagged; violations: %v", c.Violations())
+	}
+}
+
+func TestDetectsIllegalTransition(t *testing.T) {
+	// Active -> Compensated skips the uncompensated window entirely.
+	c := New(testCfg(), nil)
+	feed(c, ls(false, gating.StActive), ls(false, gating.StCompensated))
+	if !hasRule(c, "illegal-transition") {
+		t.Fatalf("Active->Compensated not flagged; violations: %v", c.Violations())
+	}
+}
+
+func TestDetectsBreakEvenMiscount(t *testing.T) {
+	// Compensating after 2 uncompensated cycles when break-even is 3.
+	c := New(testCfg(), nil)
+	feed(c,
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StCompensated),
+	)
+	if !hasRule(c, "bet-miscount") {
+		t.Fatalf("early compensation not flagged; violations: %v", c.Violations())
+	}
+
+	// Overstaying the window: 4 uncompensated cycles with break-even 3.
+	c = New(testCfg(), nil)
+	feed(c,
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StUncompensated),
+	)
+	if !hasRule(c, "bet-overrun") {
+		t.Fatalf("overstayed window not flagged; violations: %v", c.Violations())
+	}
+
+	// The exact window is clean.
+	c = New(testCfg(), nil)
+	feed(c,
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StCompensated),
+	)
+	if len(c.Violations()) != 0 {
+		t.Fatalf("exact break-even window flagged: %v", c.Violations())
+	}
+}
+
+func TestDetectsWakeupLatencyViolation(t *testing.T) {
+	// One wakeup cycle instead of two.
+	c := New(testCfg(), nil)
+	feed(c,
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StWakeup),
+		ls(true, gating.StActive),
+	)
+	if !hasRule(c, "wakeup-latency") {
+		t.Fatalf("short wakeup not flagged; violations: %v", c.Violations())
+	}
+
+	// Skipping the wakeup state entirely with a non-zero delay.
+	c = New(testCfg(), nil)
+	feed(c,
+		ls(false, gating.StUncompensated),
+		ls(true, gating.StActive),
+	)
+	if !hasRule(c, "wakeup-skipped") {
+		t.Fatalf("skipped wakeup not flagged; violations: %v", c.Violations())
+	}
+
+	// The honest sequence is clean.
+	c = New(testCfg(), nil)
+	feed(c,
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StWakeup),
+		ls(false, gating.StWakeup),
+		ls(true, gating.StActive),
+	)
+	if len(c.Violations()) != 0 {
+		t.Fatalf("honest wakeup flagged: %v", c.Violations())
+	}
+}
+
+func TestDetectsBlackoutEarlyWake(t *testing.T) {
+	cfg := testCfg()
+	cfg.Gating = config.GateNaiveBlackout
+	c := New(cfg, nil)
+	feed(c,
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StWakeup),
+	)
+	if !hasRule(c, "blackout-early-wake") {
+		t.Fatalf("blackout early wake not flagged; violations: %v", c.Violations())
+	}
+
+	// Under conventional gating the same stream is a legal negative event.
+	cfg.Gating = config.GateConventional
+	c = New(cfg, nil)
+	feed(c,
+		ls(false, gating.StUncompensated),
+		ls(false, gating.StWakeup),
+		ls(false, gating.StWakeup),
+		ls(true, gating.StActive),
+	)
+	if len(c.Violations()) != 0 {
+		t.Fatalf("conventional negative event flagged: %v", c.Violations())
+	}
+}
+
+func TestDetectsIssueToGatedUnit(t *testing.T) {
+	c := New(testCfg(), nil)
+	c.onIssue(0, 0, 3, isa.INT, 0)
+	c.onProbe(0, 0, lane(false, gating.StUncompensated))
+	if !hasRule(c, "issue-to-gated") {
+		t.Fatalf("issue to gated unit not flagged; violations: %v", c.Violations())
+	}
+	if !hasRule(c, "issue-not-busy") {
+		t.Fatalf("issue without pipe occupancy not flagged; violations: %v", c.Violations())
+	}
+}
+
+func TestDetectsDoubleIssue(t *testing.T) {
+	cfg := testCfg()
+	cfg.NumSchedulers = 2
+	c := New(cfg, nil)
+	c.onIssue(0, 0, 7, isa.INT, 0)
+	c.onIssue(0, 0, 7, isa.INT, 0)
+	c.onProbe(0, 0, lane(true, gating.StActive))
+	if !hasRule(c, "double-issue") {
+		t.Fatalf("double warp issue not flagged; violations: %v", c.Violations())
+	}
+	if !hasRule(c, "port-double-issue") {
+		t.Fatalf("double port issue not flagged; violations: %v", c.Violations())
+	}
+}
+
+func TestDetectsIssueWidthViolation(t *testing.T) {
+	c := New(testCfg(), nil) // 1 scheduler
+	c.onIssue(0, 0, 1, isa.INT, 0)
+	c.onIssue(0, 0, 2, isa.FP, 0)
+	c.onProbe(0, 0, []sim.LaneState{
+		{Class: isa.INT, Cluster: 0, Busy: true, State: gating.StActive},
+		{Class: isa.FP, Cluster: 0, Busy: true, State: gating.StActive},
+	})
+	if !hasRule(c, "issue-width") {
+		t.Fatalf("issue over scheduler width not flagged; violations: %v", c.Violations())
+	}
+}
+
+func TestDetectsProbeDiscontinuity(t *testing.T) {
+	c := New(testCfg(), nil)
+	c.onProbe(0, 0, lane(false, gating.StActive))
+	c.onProbe(0, 2, lane(false, gating.StActive))
+	if !hasRule(c, "probe-continuity") {
+		t.Fatalf("probe cycle gap not flagged; violations: %v", c.Violations())
+	}
+}
+
+func TestFinishDetectsCounterDrift(t *testing.T) {
+	// A clean observed stream against a report whose counters were inflated:
+	// every domain-level reconciliation must fire.
+	cfg := testCfg()
+	k := kernels.MustBenchmark("hotspot").Scale(0.05)
+	rep, c, err := Run(cfg, k)
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	rep.Domains[isa.INT].BusyCycles++
+	rep.Domains[isa.INT].IdleCycles--
+	rep.IssuedTotal++
+	err = c.Finish(rep)
+	if err == nil {
+		t.Fatal("tampered report passed Finish")
+	}
+	for _, rule := range []string{"domain-busy", "domain-idle", "issued-total"} {
+		if !strings.Contains(err.Error(), rule) {
+			t.Errorf("tampered report error missing rule %s:\n%v", rule, err)
+		}
+	}
+}
+
+func TestViolationCap(t *testing.T) {
+	c := New(testCfg(), nil)
+	// A permanently busy gated lane violates every cycle.
+	for i := 0; i < MaxViolations*3; i++ {
+		c.onProbe(0, int64(i), lane(true, gating.StUncompensated))
+	}
+	if n := len(c.Violations()); n != MaxViolations {
+		t.Fatalf("recorded %d violations, cap is %d", n, MaxViolations)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "more") {
+		t.Fatalf("capped error should count the overflow, got: %v", err)
+	}
+}
+
+func TestExpectedIssuedMatchesSimulation(t *testing.T) {
+	cfg := config.Small()
+	for _, bench := range []string{"hotspot", "bfs", "sgemm", "lavaMD", "WP"} {
+		k := kernels.MustBenchmark(bench).Scale(0.1)
+		rep, _, err := Run(cfg, k)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		if rep.RanOut {
+			t.Fatalf("%s ran out of cycles at this scale", bench)
+		}
+		if want := ExpectedIssued(cfg, k); rep.IssuedTotal != want {
+			t.Errorf("%s: issued %d, geometry predicts %d", bench, rep.IssuedTotal, want)
+		}
+	}
+}

@@ -32,6 +32,15 @@ type Runner struct {
 	// goroutines, so the callback must be safe for concurrent use. Set it
 	// before the first run; mutating it while runs are in flight is a race.
 	Progress func(benchmark string, cfg config.Config)
+	// Instrument, when non-nil, observes each uncached simulation: it is
+	// called with the benchmark, the exact configuration, the scaled kernel
+	// and the freshly built GPU before the run starts, and may install probes
+	// (SetCycleProbe/SetIssueTracer). The returned callback, if non-nil,
+	// receives the final report; a non-nil error fails the run, which is then
+	// not cached. Like Progress it runs concurrently under the parallel
+	// entry points, so the hook must be safe for concurrent use — attach
+	// per-run state (e.g. one check.Checker per GPU), never share probes.
+	Instrument Instrumenter
 
 	mu    sync.Mutex
 	cache map[runKey]*cacheEntry
@@ -150,8 +159,24 @@ func (r *Runner) simulate(bench string, cfg config.Config) (*sim.Report, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: building GPU for %s: %w", bench, err)
 	}
-	return gpu.Run(), nil
+	var finish func(*sim.Report) error
+	if r.Instrument != nil {
+		finish = r.Instrument(bench, cfg, k, gpu)
+	}
+	rep := gpu.Run()
+	if finish != nil {
+		if err := finish(rep); err != nil {
+			return nil, fmt.Errorf("core: instrumented run of %s: %w", bench, err)
+		}
+	}
+	return rep, nil
 }
+
+// Instrumenter is Runner.Instrument's hook type: called once per uncached
+// simulation with the GPU before it runs, it returns a completion callback
+// (may be nil) that receives the final report and may fail the run. The
+// invariant checker's check.Instrument produces this type.
+type Instrumenter func(bench string, cfg config.Config, k *kernels.Kernel, g *sim.GPU) func(*sim.Report) error
 
 // NamedReport pairs a benchmark name with its report, for ordered results.
 type NamedReport struct {

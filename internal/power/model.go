@@ -132,14 +132,32 @@ func (b Breakdown) FractionOverhead() float64 {
 // technique that slows the program down pays for the extra static energy its
 // longer run leaks — the effect that separates Naive Blackout from
 // Coordinated Blackout in Figure 9.
+//
+// A nil report yields a zero Breakdown (with the class set), and a zero-cycle
+// run yields all-zero energies; every derived ratio (StaticSavings, the
+// Fraction* methods) is then 0, never NaN, so aggregation over a suite that
+// contains an empty or failed run degrades gracefully instead of poisoning
+// the mean.
 func (m *Model) Analyze(r *sim.Report, c isa.Class) Breakdown {
+	if r == nil {
+		return Breakdown{Class: c}
+	}
 	return m.analyze(r, c, float64(r.Domains[c].CellCycles()))
 }
 
 // AnalyzeAgainst computes the breakdown of one unit class with the static
 // baseline taken from the no-gating baseline run of the same benchmark.
+// Like Analyze it is total: nil or zero-cycle reports on either side produce
+// finite zero-valued breakdowns rather than NaNs.
 func (m *Model) AnalyzeAgainst(r, baseline *sim.Report, c isa.Class) Breakdown {
-	return m.analyze(r, c, float64(baseline.Domains[c].CellCycles()))
+	if r == nil {
+		return Breakdown{Class: c}
+	}
+	var baseCells float64
+	if baseline != nil {
+		baseCells = float64(baseline.Domains[c].CellCycles())
+	}
+	return m.analyze(r, c, baseCells)
 }
 
 func (m *Model) analyze(r *sim.Report, c isa.Class, baselineCellCycles float64) Breakdown {

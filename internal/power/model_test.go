@@ -164,3 +164,86 @@ func TestAnalyzeAll(t *testing.T) {
 		t.Fatal("FP breakdown should be empty for an INT-only fake report")
 	}
 }
+
+func TestAnalyzeNilAndEmptyReports(t *testing.T) {
+	// The model must be total: nil reports, nil baselines and zero-cycle runs
+	// all yield finite all-zero breakdowns, never NaN (a NaN here would
+	// silently poison every suite mean it is folded into).
+	m := Default(14)
+	finite := func(b Breakdown) {
+		t.Helper()
+		for _, v := range []float64{
+			b.Static, b.Dynamic, b.Overhead, b.StaticBaseline, b.Total(),
+			b.StaticSavings(), b.FractionStatic(), b.FractionDynamic(), b.FractionOverhead(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite value %v in breakdown %+v", v, b)
+			}
+		}
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		finite(m.Analyze(nil, c))
+		finite(m.AnalyzeAgainst(nil, nil, c))
+		finite(m.AnalyzeAgainst(&sim.Report{}, nil, c))
+		finite(m.AnalyzeAgainst(nil, &sim.Report{}, c))
+		empty := m.AnalyzeAgainst(&sim.Report{}, &sim.Report{}, c)
+		finite(empty)
+		if empty.Total() != 0 || empty.StaticSavings() != 0 {
+			t.Fatalf("zero-cycle run has non-zero energy: %+v", empty)
+		}
+	}
+	for _, b := range m.AnalyzeAll(nil) {
+		finite(b)
+	}
+}
+
+func TestAnalyzeAgainstIntegerOnlyBenchmark(t *testing.T) {
+	// lavaMD has no FP instructions at all; its FP domain is pure idle. The
+	// FP breakdown must still be finite, with zero dynamic energy and a
+	// meaningful static term (the idle pipes still leak).
+	if !kernels.IntegerOnly("lavaMD") {
+		t.Fatal("lavaMD is the suite's integer-only benchmark")
+	}
+	cfg := config.Small()
+	k := kernels.MustBenchmark("lavaMD").Scale(0.1)
+	gpu, err := sim.NewGPU(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := gpu.Run()
+	m := Default(cfg.BreakEven)
+	b := m.AnalyzeAgainst(rep, rep, isa.FP)
+	if b.Dynamic != 0 {
+		t.Fatalf("integer-only benchmark has FP dynamic energy %v", b.Dynamic)
+	}
+	if b.StaticBaseline <= 0 || b.Static <= 0 {
+		t.Fatalf("idle FP pipes should still leak: %+v", b)
+	}
+	if s := b.StaticSavings(); math.IsNaN(s) || s < -1 || s > 1 {
+		t.Fatalf("FP savings %v out of range for an integer-only run", s)
+	}
+}
+
+func TestAnalyzeAgainstIdenticalReports(t *testing.T) {
+	// A run measured against itself: with no gating the static term equals
+	// the baseline term exactly, so net savings are exactly zero; with gating
+	// the savings reduce to the self-normalized Analyze result.
+	cfg := config.Small()
+	k := kernels.MustBenchmark("hotspot").Scale(0.1)
+	gpu, err := sim.NewGPU(cfg, k) // config.Small() default is GateNone
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := gpu.Run()
+	m := Default(cfg.BreakEven)
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		b := m.AnalyzeAgainst(rep, rep, c)
+		if got := b.StaticSavings(); got != 0 {
+			t.Fatalf("%s: ungated run saved %v against itself, want exactly 0", c, got)
+		}
+		self := m.Analyze(rep, c)
+		if b != self {
+			t.Fatalf("%s: AnalyzeAgainst(rep, rep) = %+v, Analyze(rep) = %+v", c, b, self)
+		}
+	}
+}

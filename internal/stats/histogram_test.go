@@ -125,3 +125,76 @@ func TestHistogramEmptyFractions(t *testing.T) {
 		t.Fatal("empty histogram fractions should be 0")
 	}
 }
+
+func TestHistogramAddNOverflowFreeTotals(t *testing.T) {
+	// AddN must accumulate huge observation counts directly in uint64 —
+	// no int truncation, no loop. A device-scale run can log ~2^40 idle
+	// cycles, far beyond what per-observation Add could replay in a test.
+	h := NewHistogram()
+	const n = uint64(1) << 40
+	h.AddN(3, n)
+	h.AddN(5, n)
+	if got := h.Total(); got != 2*n {
+		t.Fatalf("Total = %d, want %d", got, 2*n)
+	}
+	if want := 3*n + 5*n; h.Sum() != want {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), want)
+	}
+	if h.Count(3) != n || h.Count(5) != n {
+		t.Fatalf("Count(3)=%d Count(5)=%d, want %d each", h.Count(3), h.Count(5), n)
+	}
+	if h.Min() != 3 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %d/%d, want 3/5", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 4.0; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramAddNZeroIsNoOp(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(7, 0)
+	if h.Total() != 0 || h.Count(7) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("AddN(v, 0) mutated the histogram: %s", h)
+	}
+	// In particular a zero-count AddN must not establish v as min/max.
+	h.Add(3)
+	h.AddN(1, 0)
+	if h.Min() != 3 {
+		t.Fatalf("Min = %d after AddN(1, 0), want 3", h.Min())
+	}
+}
+
+func TestHistogramCountSumConsistency(t *testing.T) {
+	// Total and Sum are caches of the per-value counts; they must always
+	// agree with a fold over Values/Count.
+	h := NewHistogram()
+	h.Add(2)
+	h.AddN(9, 4)
+	h.Add(0)
+	h.AddN(2, 7)
+	var total, sum uint64
+	for _, v := range h.Values() {
+		total += h.Count(v)
+		sum += uint64(v) * h.Count(v)
+	}
+	if total != h.Total() {
+		t.Fatalf("fold total %d != Total %d", total, h.Total())
+	}
+	if sum != h.Sum() {
+		t.Fatalf("fold sum %d != Sum %d", sum, h.Sum())
+	}
+}
+
+func TestHistogramEmptyMinMaxMean(t *testing.T) {
+	h := NewHistogram()
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram Min/Max/Mean = %d/%d/%v, want zeros", h.Min(), h.Max(), h.Mean())
+	}
+	// Zero is an observable value and distinct from emptiness: after Add(0)
+	// the min is still 0 but Total proves it was observed.
+	h.Add(0)
+	if h.Min() != 0 || h.Total() != 1 {
+		t.Fatalf("Add(0): Min=%d Total=%d, want 0/1", h.Min(), h.Total())
+	}
+}

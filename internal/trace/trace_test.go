@@ -150,3 +150,112 @@ func TestLaneString(t *testing.T) {
 		t.Fatal("SFU lane name wrong")
 	}
 }
+
+// glyphToSample is the inverse of Sample.Glyph on its reachable range (a busy
+// sample always renders '#' regardless of state, so '#' maps back to
+// busy/Active — the invariant checker separately guarantees a busy lane is
+// always powered).
+func glyphToSample(g byte) (Sample, bool) {
+	switch g {
+	case '#':
+		return Sample{Busy: true, State: gating.StActive}, true
+	case '.':
+		return Sample{State: gating.StActive}, true
+	case 'u':
+		return Sample{State: gating.StUncompensated}, true
+	case 'C':
+		return Sample{State: gating.StCompensated}, true
+	case 'w':
+		return Sample{State: gating.StWakeup}, true
+	}
+	return Sample{}, false
+}
+
+func TestGlyphRoundTrip(t *testing.T) {
+	for _, s := range []Sample{
+		{Busy: true, State: gating.StActive},
+		{Busy: false, State: gating.StActive},
+		{Busy: false, State: gating.StUncompensated},
+		{Busy: false, State: gating.StCompensated},
+		{Busy: false, State: gating.StWakeup},
+	} {
+		back, ok := glyphToSample(s.Glyph())
+		if !ok {
+			t.Fatalf("glyph %q not parseable", s.Glyph())
+		}
+		if back != s {
+			t.Fatalf("sample %+v round-tripped to %+v via %q", s, back, s.Glyph())
+		}
+	}
+}
+
+func TestWaveformRoundTripsSamples(t *testing.T) {
+	// Parse the rendered waveform back and compare glyph-for-glyph with the
+	// recorded samples: the renderer must neither drop, reorder nor invent
+	// cycles. Width 64 forces multiple chunked rows.
+	r := recordRun(t, config.GateCoordBlackout, 100, 400)
+	wf := r.Waveform(64)
+	parsed := make(map[string][]byte)
+	for _, line := range strings.Split(wf, "\n") {
+		if line == "" || strings.HasPrefix(line, "SM ") || strings.HasPrefix(line, "cycle ") {
+			continue
+		}
+		name := strings.TrimRight(line[:6], " ")
+		parsed[name] = append(parsed[name], line[6:]...)
+	}
+	if len(parsed) != len(r.Lanes()) {
+		t.Fatalf("waveform has %d lanes, recorder %d", len(parsed), len(r.Lanes()))
+	}
+	for _, l := range r.Lanes() {
+		ss := r.Samples(l)
+		glyphs := parsed[l.String()]
+		if len(glyphs) != len(ss) {
+			t.Fatalf("lane %s: %d glyphs vs %d samples", l, len(glyphs), len(ss))
+		}
+		for i, g := range glyphs {
+			back, ok := glyphToSample(g)
+			if !ok {
+				t.Fatalf("lane %s cycle %d: unknown glyph %q", l, i, g)
+			}
+			want := ss[i]
+			if back.Busy != want.Busy {
+				t.Fatalf("lane %s cycle %d: glyph %q busy=%v, sample busy=%v", l, i, g, back.Busy, want.Busy)
+			}
+			if !want.Busy && back.State != want.State {
+				t.Fatalf("lane %s cycle %d: glyph %q state=%v, sample state=%v", l, i, g, back.State, want.State)
+			}
+		}
+	}
+}
+
+func TestFractionsMatchSampleCounts(t *testing.T) {
+	// GatedFraction and BusyFraction are summaries of the same sample stream
+	// the waveform renders; recompute both from Samples and compare exactly.
+	r := recordRun(t, config.GateCoordBlackout, 100, 400)
+	for _, l := range r.Lanes() {
+		ss := r.Samples(l)
+		var busy, gated int
+		for _, s := range ss {
+			if s.Busy {
+				busy++
+			}
+			if s.State == gating.StUncompensated || s.State == gating.StCompensated {
+				gated++
+			}
+		}
+		if got, want := r.BusyFraction(l), float64(busy)/float64(len(ss)); got != want {
+			t.Fatalf("lane %s BusyFraction %v, samples say %v", l, got, want)
+		}
+		if got, want := r.GatedFraction(l), float64(gated)/float64(len(ss)); got != want {
+			t.Fatalf("lane %s GatedFraction %v, samples say %v", l, got, want)
+		}
+	}
+}
+
+func TestFractionsEmptyLane(t *testing.T) {
+	r := NewRecorder(0, 0, 10)
+	ghost := Lane{Class: isa.SFU}
+	if r.GatedFraction(ghost) != 0 || r.BusyFraction(ghost) != 0 {
+		t.Fatal("fractions of an untraced lane should be 0")
+	}
+}
