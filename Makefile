@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench check verify ci
+.PHONY: build test race vet bench bench-short bench-go check verify ci
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The profiled bench harness: times the full benchmark × technique matrix
+# with and without the idle fast-forward, measures the steady-state
+# per-cycle cost (which must report 0 allocs/cycle), and writes
+# BENCH_sim.json. bench-short is the CI-sized variant.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x
+	$(GO) run ./cmd/warpedgates bench -sms 6 -scale 0.25 -out BENCH_sim.json
+
+bench-short:
+	$(GO) run ./cmd/warpedgates bench -sms 2 -scale 0.1 -out BENCH_sim.json
+
+# Go micro-benchmarks; sub-benchmark names are stable so
+#   go test -bench Matrix -count 10 ./internal/sim | benchstat old.txt new.txt
+# compares cells across commits.
+bench-go:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 check: build test
 

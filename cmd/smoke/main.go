@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"warpedgates/internal/config"
@@ -23,7 +25,28 @@ func main() {
 	scale := flag.Float64("scale", 0.6, "workload scale")
 	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	perBench := flag.Bool("bench", false, "print per-benchmark rows")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			die(f.Close())
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			die(err)
+			runtime.GC()
+			die(pprof.Lookup("allocs").WriteTo(f, 0))
+			die(f.Close())
+		}()
+	}
 
 	cfg := config.GTX480()
 	cfg.NumSMs = *sms

@@ -22,6 +22,10 @@
 //	    Run the benchmark x technique matrix with the cycle-level invariant
 //	    checker attached and fail on any violation.
 //
+//	warpedgates bench [-sms 6] [-scale 0.25] [-out BENCH_sim.json]
+//	    Time the benchmark x technique matrix (fast-forward on and off) and
+//	    the steady-state per-cycle cost, writing the results as JSON.
+//
 //	warpedgates characterize
 //	    Print the benchmark suite's workload characterization.
 //
@@ -61,6 +65,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "characterize":
 		err = cmdCharacterize(os.Args[2:])
 	case "compare":
@@ -85,11 +91,13 @@ func usage() {
   warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-csv DIR] [-v]
   warpedgates trace -bench <name> -tech <technique> [-from C] [-cycles N]
   warpedgates verify [-sms N] [-scale F] [-j N] [-bench <name>] [-tech <technique>] [-v]
+  warpedgates bench [-sms N] [-scale F] [-out BENCH_sim.json]
   warpedgates characterize [-sms N] [-scale F] [-j N]
   warpedgates compare [-sms N] [-scale F] [-j N]
 
 -j bounds the simulation worker pool (0, the default, uses every core);
-figure regeneration is deterministic at any -j.`)
+figure regeneration is deterministic at any -j. run, figure, verify and bench
+also accept -cpuprofile FILE and -memprofile FILE for pprof output.`)
 }
 
 func cmdList() error {
@@ -118,9 +126,14 @@ func cmdRun(args []string) error {
 	sms := fs.Int("sms", 15, "number of SMs")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 	t, err := core.ParseTechnique(*tech)
 	if err != nil {
 		return err
@@ -158,9 +171,14 @@ func cmdFigure(args []string) error {
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	verbose := fs.Bool("v", false, "print progress")
 	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags carries the -cpuprofile/-memprofile options shared by every
+// subcommand that runs simulations.
+type profileFlags struct {
+	cpu *string
+	mem *string
+
+	cpuFile *os.File
+}
+
+// addProfileFlags registers the profiling options on fs.
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write an allocation profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling if requested. Callers must arrange for stop to
+// run on every exit path (defer it right after a successful start).
+func (p *profileFlags) start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// stop ends CPU profiling and writes the allocation profile if requested.
+// Profile-write failures are reported on stderr rather than clobbering the
+// subcommand's own error.
+func (p *profileFlags) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "warpedgates: closing cpu profile: %v\n", err)
+		}
+		p.cpuFile = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warpedgates: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // flush dead objects so the profile shows live + cumulative allocs accurately
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "warpedgates: writing mem profile: %v\n", err)
+		}
+	}
+}

@@ -24,9 +24,14 @@ func cmdVerify(args []string) error {
 	bench := fs.String("bench", "", "verify a single benchmark (default: all)")
 	tech := fs.String("tech", "", "verify a single technique (default: all)")
 	verbose := fs.Bool("v", false, "print progress")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 
 	benches := kernels.BenchmarkNames
 	if *bench != "" {

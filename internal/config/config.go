@@ -119,6 +119,12 @@ type Config struct {
 
 	MaxCycles int    // hard stop; 0 means run until all work drains
 	Seed      uint64 // extra entropy mixed into every PRNG stream
+	// DisableFastForward turns off the idle fast-forward, forcing the
+	// simulator to step every cycle individually. The fast-forward is
+	// cycle-exact (identical reports, probes and histograms), so this knob
+	// exists only for equivalence testing and debugging; the zero value
+	// leaves it enabled.
+	DisableFastForward bool
 }
 
 // GTX480 returns the paper's baseline configuration.
@@ -182,6 +188,7 @@ func (c *Config) Validate() error {
 	checks := []error{
 		check(c.NumSMs > 0, "NumSMs must be positive, got %d", c.NumSMs),
 		check(c.MaxWarpsPerSM > 0, "MaxWarpsPerSM must be positive, got %d", c.MaxWarpsPerSM),
+		check(c.MaxWarpsPerSM <= 64, "MaxWarpsPerSM must be at most 64 (warp-table bitset width), got %d", c.MaxWarpsPerSM),
 		check(c.WarpSize > 0 && c.WarpSize <= 32, "WarpSize must be in (0,32], got %d", c.WarpSize),
 		check(c.NumSchedulers > 0, "NumSchedulers must be positive, got %d", c.NumSchedulers),
 		check(c.NumSPClusters > 0, "NumSPClusters must be positive, got %d", c.NumSPClusters),

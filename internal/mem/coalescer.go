@@ -28,6 +28,17 @@ func NewCoalescer() *Coalescer { return &Coalescer{MaxTransactions: 8} }
 // random patterns deterministically.
 func (c *Coalescer) Transactions(pattern isa.AccessPattern, region uint8, base uint64,
 	workingLines int, rng *stats.SplitMix64) []Line {
+	return c.AppendTransactions(nil, pattern, region, base, workingLines, rng)
+}
+
+// AppendTransactions appends the access's distinct line addresses to dst and
+// returns the extended slice, consuming the rng stream and producing the
+// exact lines Transactions would. It exists for the simulator's per-cycle
+// hot path, which reuses one per-warp buffer instead of allocating; the
+// transaction fan-out is capped at MaxTransactions, so a linear dedup scan
+// over the appended suffix beats a freshly allocated set.
+func (c *Coalescer) AppendTransactions(dst []Line, pattern isa.AccessPattern, region uint8,
+	base uint64, workingLines int, rng *stats.SplitMix64) []Line {
 	cap := c.MaxTransactions
 	if cap <= 0 {
 		cap = 8
@@ -43,42 +54,45 @@ func (c *Coalescer) Transactions(pattern isa.AccessPattern, region uint8, base u
 	}
 	switch pattern {
 	case isa.PatternCoalesced:
-		return []Line{mkLine(base)}
+		return append(dst, mkLine(base))
 	case isa.PatternStrided2:
 		n := minInt(2, cap)
-		out := make([]Line, n)
 		for i := 0; i < n; i++ {
-			out[i] = mkLine(base + uint64(i))
+			dst = append(dst, mkLine(base+uint64(i)))
 		}
-		return out
+		return dst
 	case isa.PatternStrided8:
 		n := minInt(8, cap)
-		out := make([]Line, n)
 		for i := 0; i < n; i++ {
-			out[i] = mkLine(base + uint64(i)*3)
+			dst = append(dst, mkLine(base+uint64(i)*3))
 		}
-		return out
+		return dst
 	case isa.PatternRandom:
 		n := minInt(8, cap)
-		out := make([]Line, 0, n)
-		seen := make(map[Line]struct{}, n)
-		for len(out) < n {
+		start := len(dst)
+		for len(dst)-start < n {
 			l := mkLine(rng.Uint64() % ws)
-			if _, dup := seen[l]; dup {
+			dup := false
+			for _, e := range dst[start:] {
+				if e == l {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				// Duplicate lines coalesce into one transaction; with a
 				// small working set this converges to few transactions,
 				// which is the correct hardware behaviour.
-				if len(seen) >= workingLines || len(seen) >= n {
+				if seen := len(dst) - start; seen >= workingLines || seen >= n {
 					break
 				}
 				continue
 			}
-			seen[l] = struct{}{}
-			out = append(out, l)
+			dst = append(dst, l)
 		}
-		return out
+		return dst
 	default:
-		return []Line{mkLine(base)}
+		return append(dst, mkLine(base))
 	}
 }
 

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"warpedgates/internal/isa"
+)
+
+// TestGATESAdvanceIdleMatchesUpdateLoop checks the closed-form priority
+// advance against per-call UpdatePriority across every rule combination that
+// can be live during an idle stretch (all RDY counters zero): the one-shot
+// drain swap, the dead blackout rule, MaxHold oscillation from every starting
+// hold value, and the no-rule case.
+func TestGATESAdvanceIdleMatchesUpdateLoop(t *testing.T) {
+	actvCases := [][isa.NumClasses]int{
+		{isa.INT: 0, isa.FP: 0},
+		{isa.INT: 3, isa.FP: 0},
+		{isa.INT: 0, isa.FP: 2},
+		{isa.INT: 3, isa.FP: 2},
+	}
+	for _, maxHold := range []int{0, 1, 3, 7} {
+		for _, preCalls := range []int{0, 1, 2, 5, 9} {
+			for _, actv := range actvCases {
+				for _, n := range []int64{1, 2, 3, 7, 8, 100, 99999} {
+					st := &SMState{ACTV: actv, NumWarps: 48}
+					batched := NewGATES()
+					batched.MaxHold = maxHold
+					stepped := NewGATES()
+					stepped.MaxHold = maxHold
+					// Shared history: some calls under a busy state so hold
+					// and orientation start away from their zero values.
+					busy := &SMState{ACTV: [isa.NumClasses]int{isa.INT: 1, isa.FP: 1}, NumWarps: 48}
+					for i := 0; i < preCalls; i++ {
+						batched.UpdatePriority(busy)
+						stepped.UpdatePriority(busy)
+					}
+
+					batched.AdvanceIdle(n, st)
+					for i := int64(0); i < n; i++ {
+						stepped.UpdatePriority(st)
+					}
+					name := fmt.Sprintf("maxhold=%d pre=%d actv=%v n=%d", maxHold, preCalls, actv, n)
+					if batched.HighPriority() != stepped.HighPriority() {
+						t.Fatalf("%s: priority %v != %v", name, batched.HighPriority(), stepped.HighPriority())
+					}
+					if batched.Switches() != stepped.Switches() {
+						t.Fatalf("%s: switches %d != %d", name, batched.Switches(), stepped.Switches())
+					}
+					if batched.hold != stepped.hold {
+						t.Fatalf("%s: hold %d != %d", name, batched.hold, stepped.hold)
+					}
+				}
+			}
+		}
+	}
+}

@@ -69,10 +69,18 @@ func rotate(cands []Candidate, pivot int) {
 	if split == 0 || split == len(cands) {
 		return
 	}
-	buf := make([]Candidate, 0, len(cands))
-	buf = append(buf, cands[split:]...)
-	buf = append(buf, cands[:split]...)
-	copy(cands, buf)
+	// In-place block swap via three reversals — this runs once per scheduler
+	// slot per cycle, so it must not allocate.
+	reverse(cands[:split])
+	reverse(cands[split:])
+	reverse(cands)
+}
+
+// reverse flips cands in place.
+func reverse(cands []Candidate) {
+	for i, j := 0, len(cands)-1; i < j; i, j = i+1, j-1 {
+		cands[i], cands[j] = cands[j], cands[i]
+	}
 }
 
 // LRR is a loose round-robin scheduler with no type awareness; it serves as

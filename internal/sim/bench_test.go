@@ -29,6 +29,54 @@ func BenchmarkSMCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrix runs representative benchmark × technique cells as named
+// sub-benchmarks, so `go test -bench Matrix -count N | benchstat` compares
+// apples to apples across commits (one row per cell). Each iteration is a
+// complete small-machine run; the per-cycle cost is reported alongside.
+func BenchmarkMatrix(b *testing.B) {
+	techs := []struct {
+		name  string
+		apply func(c *config.Config)
+	}{
+		{"Baseline", func(c *config.Config) {
+			c.Scheduler = config.SchedTwoLevel
+			c.Gating = config.GateNone
+		}},
+		{"WarpedGates", func(c *config.Config) {
+			c.Scheduler = config.SchedGATES
+			c.Gating = config.GateCoordBlackout
+			c.AdaptiveIdleDetect = true
+		}},
+		{"WarpedGatesStepped", func(c *config.Config) {
+			c.Scheduler = config.SchedGATES
+			c.Gating = config.GateCoordBlackout
+			c.AdaptiveIdleDetect = true
+			c.DisableFastForward = true
+		}},
+	}
+	for _, bench := range []string{"hotspot", "bfs"} {
+		for _, tech := range techs {
+			b.Run(bench+"/"+tech.name, func(b *testing.B) {
+				cfg := config.Small()
+				tech.apply(&cfg)
+				k := kernels.MustBenchmark(bench).Scale(0.1)
+				var cycles int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					gpu, err := NewGPU(cfg, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += gpu.Run().Cycles
+				}
+				if cycles > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFullRunSmall measures a complete small-machine simulation.
 func BenchmarkFullRunSmall(b *testing.B) {
 	cfg := config.Small()

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"warpedgates/internal/config"
+	"warpedgates/internal/isa"
+	"warpedgates/internal/kernels"
+)
+
+// reportFingerprint renders every figure-relevant counter of a report (the
+// same field set the golden corpus fingerprints in internal/core, which this
+// package cannot import) so fast-forwarded and stepped runs can be compared
+// for observable identity.
+func reportFingerprint(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d ranout=%t issued=%d", r.Cycles, r.RanOut, r.IssuedTotal)
+	fmt.Fprintf(&b, " stalls=%d/%d ctas=%d warpmax=%d warpavg=%g l1=%g",
+		r.IssueStallsMem, r.IssueStallsGate, r.CTAsCompleted, r.ActiveWarpMax,
+		r.ActiveWarpAvg, r.L1MissRate)
+	fmt.Fprintf(&b, " l2=%v", r.L2Stats)
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		d := &r.Domains[c]
+		fmt.Fprintf(&b, " %v=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,h%d:%d:%d:%d",
+			c, d.BusyCycles, d.IdleCycles, d.PoweredCycles, d.GatedCycles,
+			d.UncompCycles, d.CompCycles, d.GatingEvents, d.Wakeups,
+			d.NegativeEvents, d.CriticalWakeups, d.DeniedWakeups, d.IssuedInstrs,
+			d.IdlePeriods.Total(), d.IdlePeriods.Sum(), d.IdlePeriods.Min(), d.IdlePeriods.Max())
+	}
+	return b.String()
+}
+
+// runHashed runs cfg over kernel k with a cycle probe installed, folding every
+// per-cycle lane observation into one FNV stream per SM. Within an SM the
+// probe fires in strict cycle order whether or not the run fast-forwards, so
+// equal digests mean the gating-state timelines are identical cycle for cycle.
+func runHashed(t *testing.T, cfg config.Config, k *kernels.Kernel) (*Report, []uint64) {
+	t.Helper()
+	gpu, err := NewGPU(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := make([]interface {
+		Write(p []byte) (int, error)
+		Sum64() uint64
+	}, cfg.NumSMs)
+	for i := range hashes {
+		hashes[i] = fnv.New64a()
+	}
+	var buf [8]byte
+	gpu.SetCycleProbe(func(smID int, cycle int64, lanes []LaneState) {
+		h := hashes[smID]
+		binary.LittleEndian.PutUint64(buf[:], uint64(cycle))
+		h.Write(buf[:])
+		for _, l := range lanes {
+			busy := byte(0)
+			if l.Busy {
+				busy = 1
+			}
+			h.Write([]byte{byte(l.Class), byte(l.Cluster), busy, byte(l.State)})
+		}
+	})
+	rep := gpu.Run()
+	digests := make([]uint64, len(hashes))
+	for i, h := range hashes {
+		digests[i] = h.Sum64()
+	}
+	return rep, digests
+}
+
+// TestFastForwardBitExact is the equivalence property test for the idle
+// fast-forward: across randomized schedulers, gating policies, gating
+// parameters and benchmarks, a fast-forwarded run must produce the same
+// report and the same per-SM, per-cycle gating-state stream as a run that
+// steps every cycle.
+func TestFastForwardBitExact(t *testing.T) {
+	benchNames := []string{"nw", "hotspot", "bfs", "mri", "btree"}
+	f := func(benchRaw, schedRaw, gateRaw, idRaw, betRaw, wakeRaw, holdRaw uint8, adaptive bool) bool {
+		cfg := config.Small()
+		cfg.Scheduler = []config.SchedulerKind{
+			config.SchedLRR, config.SchedTwoLevel, config.SchedGATES,
+		}[int(schedRaw)%3]
+		cfg.Gating = []config.GatingKind{
+			config.GateNone, config.GateConventional,
+			config.GateNaiveBlackout, config.GateCoordBlackout,
+		}[int(gateRaw)%4]
+		cfg.IdleDetect = int(idRaw % 12)
+		cfg.BreakEven = 1 + int(betRaw%30)
+		cfg.WakeupDelay = int(wakeRaw % 10)
+		cfg.GATESMaxHold = int(holdRaw % 5)
+		cfg.AdaptiveIdleDetect = adaptive
+		cfg.MaxCycles = 30000
+
+		bench := benchNames[int(benchRaw)%len(benchNames)]
+		k := kernels.MustBenchmark(bench).Scale(0.08)
+
+		ffCfg := cfg
+		ffCfg.DisableFastForward = false
+		stepCfg := cfg
+		stepCfg.DisableFastForward = true
+
+		ffRep, ffHash := runHashed(t, ffCfg, k)
+		stRep, stHash := runHashed(t, stepCfg, k)
+		// The config is part of the report; blank the knob under test before
+		// comparing the rest.
+		ffRep.Config.DisableFastForward = false
+		stRep.Config.DisableFastForward = false
+		if a, b := reportFingerprint(ffRep), reportFingerprint(stRep); a != b {
+			t.Logf("%s %v/%v: report drift\n  ff:      %s\n  stepped: %s", bench, cfg.Scheduler, cfg.Gating, a, b)
+			return false
+		}
+		for i := range ffHash {
+			if ffHash[i] != stHash[i] {
+				t.Logf("%s %v/%v: SM%d probe-stream drift", bench, cfg.Scheduler, cfg.Gating, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastForwardActuallySkips guards against the fast-forward silently
+// becoming a no-op: a memory-heavy run on a gated machine must take far fewer
+// step invocations than simulated cycles.
+func TestFastForwardActuallySkips(t *testing.T) {
+	cfg := config.Small()
+	cfg.NumSMs = 1
+	cfg.Scheduler = config.SchedGATES
+	cfg.Gating = config.GateCoordBlackout
+	cfg.AdaptiveIdleDetect = true
+	cfg.MaxCycles = 200000
+	k := kernels.MustBenchmark("bfs").Scale(0.1)
+	gpu, err := NewGPU(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := gpu.SMs()[0]
+	calls := 0
+	var cyc int64
+	for !sm.done() && cyc < int64(cfg.MaxCycles) {
+		cyc = sm.step(cyc)
+		calls++
+	}
+	if sm.Stats().Cycles != cyc {
+		t.Fatalf("SM cycle accounting: %d counted, clock at %d", sm.Stats().Cycles, cyc)
+	}
+	if int64(calls) >= cyc {
+		t.Fatalf("fast-forward never fired on a memory-bound run: %d step calls for %d cycles", calls, cyc)
+	}
+	t.Logf("cycles=%d step calls=%d (%.1f%% stepped)", cyc, calls, 100*float64(calls)/float64(cyc))
+}
+
+// TestScheduleRetirePanicsOutsideHorizon pins the retire ring's safety check:
+// scheduling a writeback at or beyond the ring size (or in the past) must
+// panic rather than alias another bucket.
+func TestScheduleRetirePanicsOutsideHorizon(t *testing.T) {
+	cfg := config.Small()
+	cfg.NumSMs = 1
+	k := kernels.MustBenchmark("nw").Scale(0.05)
+	gpu, err := NewGPU(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := gpu.SMs()[0]
+	for _, at := range []int64{0, -5, retireRingSize, retireRingSize + 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scheduleRetire(now=0, at=%d) did not panic", at)
+				}
+			}()
+			sm.scheduleRetire(0, at, sm.warps[0], 1)
+		}()
+	}
+}
+
+// TestStepZeroAllocsSteadyState asserts the zero-allocation property of the
+// hot loop: once the retire-event arena and the per-warp transaction buffers
+// have grown to their working capacities, stepping allocates nothing. The
+// check is a raw Mallocs delta over a long window rather than
+// testing.AllocsPerRun, whose integer division would round a fractional
+// allocs-per-cycle rate down to zero and hide a slow leak. Unrelated
+// goroutines (the test framework, the runtime) can malloc concurrently, so
+// a nonzero delta is retried a couple of times before failing.
+func TestStepZeroAllocsSteadyState(t *testing.T) {
+	cfg := config.GTX480()
+	cfg.NumSMs = 1
+	cfg.Scheduler = config.SchedGATES
+	cfg.Gating = config.GateCoordBlackout
+	cfg.AdaptiveIdleDetect = true
+	cfg.MaxCycles = 1 << 30
+	k := kernels.MustBenchmark("hotspot").Scale(100) // effectively endless
+	gpu, err := NewGPU(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := gpu.SMs()[0]
+	cyc := int64(0)
+	for cyc < 10*retireRingSize { // let every arena hit its high-water mark
+		cyc = sm.step(cyc)
+	}
+	const window = 100000
+	var delta uint64
+	for attempt := 0; attempt < 3; attempt++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		end := cyc + window
+		for cyc < end {
+			cyc = sm.step(cyc)
+		}
+		runtime.ReadMemStats(&m1)
+		delta = m1.Mallocs - m0.Mallocs
+		if delta == 0 {
+			return
+		}
+	}
+	t.Fatalf("steady-state step allocated %d objects over %d cycles, want 0", delta, window)
+}

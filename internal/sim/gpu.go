@@ -41,25 +41,48 @@ func NewGPU(cfg config.Config, k *kernels.Kernel) (*GPU, error) {
 // Run executes the workload to completion (or cfg.MaxCycles) and returns the
 // final report.
 func (g *GPU) Run() *Report {
-	for {
-		if g.cfg.MaxCycles > 0 && g.cycle >= int64(g.cfg.MaxCycles) {
+	// Completion is event-driven rather than scanned: an SM flips its drained
+	// flag at the transition point (last warp of its last CTA finishing, in
+	// commitIssue), and Run only maintains the count of SMs still holding
+	// work. The clock advances to the minimum wake-up cycle the live SMs
+	// report, so when every live SM has fast-forwarded across an idle
+	// stretch, the whole device jumps in one step; SMs whose target lies
+	// further out return it again unchanged until the clock catches up.
+	live := 0
+	for _, sm := range g.sms {
+		if sm.done() {
+			sm.drained = true
+		} else {
+			live++
+		}
+	}
+	maxCycles := int64(g.cfg.MaxCycles)
+	for live > 0 {
+		if maxCycles > 0 && g.cycle >= maxCycles {
 			g.ranOut = true
 			break
 		}
-		// Single pass over the SM array: step every unfinished SM and detect
-		// completion from the same scan (an SM's done state never depends on
-		// another SM within a cycle, so one pass equals the old check+step).
-		stepped := false
+		next := int64(-1)
 		for _, sm := range g.sms {
-			if !sm.done() {
-				sm.step(g.cycle)
-				stepped = true
+			if sm.drained {
+				continue
+			}
+			wake := sm.step(g.cycle)
+			if sm.drained {
+				live--
+				continue
+			}
+			if next < 0 || wake < next {
+				next = wake
 			}
 		}
-		if !stepped {
-			break
+		if next < 0 {
+			// The last live SM drained this cycle; account the cycle as the
+			// scan-based loop did before breaking out.
+			g.cycle++
+		} else {
+			g.cycle = next
 		}
-		g.cycle++
 	}
 	for _, sm := range g.sms {
 		sm.finish()

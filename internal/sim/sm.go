@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"warpedgates/internal/config"
 	"warpedgates/internal/gating"
@@ -19,10 +20,16 @@ const retireRingSize = 1 << 14
 
 // retireEvent is a scheduled writeback: clear dstMask in the warp's
 // scoreboard, guarded by the warp-slot generation to survive slot reuse.
+// Events live in a per-SM free-list arena (retirePool) and chain through
+// next, so scheduling one never allocates once the pool has grown to the
+// SM's maximum in-flight count — a slice-of-slices ring converges on zero
+// allocations only asymptotically, as random completion bursts keep finding
+// buckets below their high-water capacity.
 type retireEvent struct {
 	warp    *Warp
 	gen     uint32
 	dstMask uint64
+	next    int32 // pool index of the next event in the same bucket, -1 ends
 }
 
 // SMStats aggregates the per-SM counters the figures are computed from.
@@ -39,6 +46,16 @@ type SMStats struct {
 
 // SM is one streaming multiprocessor: warp table, dual schedulers, execution
 // pipes with per-domain gating controllers, and a private memory port.
+//
+// The per-cycle hot path runs on incrementally maintained state instead of
+// rescans: warp readiness lives in uint64 bitsets and per-class counters that
+// are updated at the transition points (launch, issue, writeback, finish) by
+// refreshWarp, and the retire ring keeps an occupancy bitmap so the next
+// scheduled writeback can be found without walking the ring. On top of that
+// state sits an idle fast-forward (see step): when no warp is ready and no
+// pipe is draining, nothing can happen until the next populated retire
+// bucket, so the SM advances its gating controllers to that cycle in closed
+// form instead of stepping.
 type SM struct {
 	id  int
 	cfg config.Config
@@ -52,13 +69,38 @@ type SM struct {
 	ctaLive       []int
 	warpSeq       uint64 // monotonically increasing warp launch counter
 
+	// Incrementally maintained warp-table state (the paper's ACTV/RDY
+	// registers, kept exact at every mutation instead of recomputed):
+	// bit i of each mask refers to warp slot i, hence the 64-warp bound
+	// enforced by config.Validate.
+	activeMask uint64              // state == WarpActive
+	readyMask  uint64              // ready(): active and no blocking operand
+	liveMask   uint64              // active or pending-mem
+	actv       [isa.NumClasses]int // active warps per next-instruction class
+	rdy        [isa.NumClasses]int // ready warps per next-instruction class
+	warpClass  []isa.Class         // next-instruction class per active warp
+	emptySlots int                 // CTA slots currently holding no live warps
+	drained    bool                // all CTAs launched and every warp finished
+
 	policies []sched.Policy
 	gatesPol *sched.GATES // non-nil when the GATES policy is active
+	slotMask []uint64     // per scheduler slot: the bits of its warps
 
 	intPipes []*Pipe
 	fpPipes  []*Pipe
 	sfuPipe  *Pipe
 	ldstPipe *Pipe
+
+	// pipes is the fixed all-pipes order (INT clusters, FP clusters, SFU,
+	// LDST) used by ticking, probes and reporting; sfuPipes/ldstPipes are
+	// the single-element views signalReadyDemand needs. All precomputed so
+	// the hot path never allocates.
+	pipes     []*Pipe
+	sfuPipes  []*Pipe
+	ldstPipes []*Pipe
+	// maxDrainAt is the monotone maximum of every pipe's drain horizon: at
+	// cycles >= maxDrainAt all pipes are idle.
+	maxDrainAt int64
 
 	intCoord *gating.Coordinator
 	fpCoord  *gating.Coordinator
@@ -68,7 +110,23 @@ type SM struct {
 	memPort   *mem.SMPort
 	coalescer *mem.Coalescer
 
-	retireRing [retireRingSize][]retireEvent
+	// retireHead holds each bucket's event-list head as a retirePool index
+	// (-1 = empty); retireFree heads the free list threaded through the same
+	// pool.
+	retireHead [retireRingSize]int32
+	retirePool []retireEvent
+	retireFree int32
+	// retireBits marks populated retire buckets (one bit per bucket) and
+	// retireCount totals the pending events, so the idle fast-forward can
+	// locate the next writeback in a handful of word scans.
+	retireBits  [retireRingSize / 64]uint64
+	retireCount int
+
+	// ffEnabled caches !cfg.DisableFastForward; skipUntil is the first cycle
+	// not yet simulated after an idle fast-forward (step returns immediately
+	// for cycles below it, because they were already accounted in batch).
+	ffEnabled bool
+	skipUntil int64
 
 	// candBuf holds reusable candidate slices, one per scheduler slot.
 	candBuf [][]sched.Candidate
@@ -99,7 +157,12 @@ func newSM(id int, cfg config.Config, k *kernels.Kernel, gpuMem *mem.GPUMem, ben
 		memPort:   mem.NewSMPort(cfg, gpuMem),
 		coalescer: mem.NewCoalescer(),
 		benchSeed: benchSeed,
+		ffEnabled: !cfg.DisableFastForward,
 	}
+	for i := range sm.retireHead {
+		sm.retireHead[i] = -1
+	}
+	sm.retireFree = -1
 
 	// Adaptive idle-detect state is per instruction type (paper §5.1:
 	// "different idle-detect values for INT and FP").
@@ -138,6 +201,14 @@ func newSM(id int, cfg config.Config, k *kernels.Kernel, gpuMem *mem.GPUMem, ben
 	sm.sfuPipe = newPipe(isa.SFU, 0, mkCtrl(auxKind, fixedIdle))
 	sm.ldstPipe = newPipe(isa.LDST, 0, mkCtrl(auxKind, fixedIdle))
 
+	sm.pipes = make([]*Pipe, 0, len(sm.intPipes)+len(sm.fpPipes)+2)
+	sm.pipes = append(sm.pipes, sm.intPipes...)
+	sm.pipes = append(sm.pipes, sm.fpPipes...)
+	sm.pipes = append(sm.pipes, sm.sfuPipe, sm.ldstPipe)
+	sm.sfuPipes = []*Pipe{sm.sfuPipe}
+	sm.ldstPipes = []*Pipe{sm.ldstPipe}
+	sm.laneBuf = make([]LaneState, 0, len(sm.pipes))
+
 	// Scheduler slots. GATES shares one priority register per SM (Fig. 7),
 	// so a single policy instance serves both slots.
 	switch cfg.Scheduler {
@@ -170,13 +241,30 @@ func newSM(id int, cfg config.Config, k *kernels.Kernel, gpuMem *mem.GPUMem, ben
 	if nWarps > cfg.MaxWarpsPerSM {
 		nWarps = cfg.MaxWarpsPerSM
 	}
+	if nWarps > 64 {
+		panic(fmt.Sprintf("sim: warp table of %d slots exceeds the 64-bit scheduler bitsets", nWarps))
+	}
 	sm.warps = make([]*Warp, nWarps)
 	for i := range sm.warps {
 		sm.warps[i] = &Warp{id: i, state: WarpIdleSlot}
 	}
+	sm.warpClass = make([]isa.Class, nWarps)
 	sm.ctaLive = make([]int, conc)
 	sm.ctasRemaining = k.CTAsPerSM
+	sm.emptySlots = conc
 	sm.smState.NumWarps = nWarps
+
+	// Scheduler-slot warp partitions and candidate buffers, sized up front so
+	// the issue stage never allocates.
+	nsched := len(sm.policies)
+	sm.slotMask = make([]uint64, nsched)
+	for i := 0; i < nWarps; i++ {
+		sm.slotMask[i%nsched] |= 1 << uint(i)
+	}
+	sm.candBuf = make([][]sched.Candidate, nsched)
+	for s := range sm.candBuf {
+		sm.candBuf[s] = make([]sched.Candidate, 0, (nWarps+nsched-1)/nsched)
+	}
 
 	// Launch the first wave.
 	for slot := 0; slot < conc; slot++ {
@@ -193,30 +281,78 @@ func (sm *SM) launchCTA(slot int) {
 	sm.ctasRemaining--
 	w0 := slot * sm.kernel.WarpsPerCTA
 	n := sm.kernel.WarpsPerCTA
+	launched := 0
 	for i := 0; i < n && w0+i < len(sm.warps); i++ {
 		w := sm.warps[w0+i]
 		seed := stats.CombineSeeds(sm.benchSeed, uint64(sm.id)<<32, sm.warpSeq)
 		w.reset(sm.kernel, slot, sm.warpSeq, seed)
 		sm.warpSeq++
 		sm.ctaLive[slot]++
+		sm.refreshWarp(w0 + i)
+		launched++
+	}
+	if launched > 0 {
+		sm.emptySlots--
+	}
+}
+
+// refreshWarp re-derives warp i's contribution to the scheduler bitsets and
+// per-class counters from its current state. It must be called after every
+// mutation that can change the warp's state, readiness or next-instruction
+// class: CTA launch, issue (advance + set membership), and writeback.
+func (sm *SM) refreshWarp(i int) {
+	bit := uint64(1) << uint(i)
+	if sm.activeMask&bit != 0 {
+		c := sm.warpClass[i]
+		sm.actv[c]--
+		if sm.readyMask&bit != 0 {
+			sm.rdy[c]--
+		}
+	}
+	sm.activeMask &^= bit
+	sm.readyMask &^= bit
+	sm.liveMask &^= bit
+	w := sm.warps[i]
+	switch w.state {
+	case WarpActive:
+		sm.liveMask |= bit
+		sm.activeMask |= bit
+		c := w.current().Class()
+		sm.warpClass[i] = c
+		sm.actv[c]++
+		if w.blockedMask() == 0 {
+			sm.readyMask |= bit
+			sm.rdy[c]++
+		}
+	case WarpPendingMem:
+		sm.liveMask |= bit
 	}
 }
 
 // done reports whether the SM has drained all its work.
 func (sm *SM) done() bool {
-	if sm.ctasRemaining > 0 {
-		return false
-	}
-	for _, w := range sm.warps {
-		if w.live() {
-			return false
-		}
-	}
-	return true
+	return sm.ctasRemaining <= 0 && sm.liveMask == 0
 }
 
-// step advances the SM by one cycle.
-func (sm *SM) step(now int64) {
+// step advances the SM from cycle now and returns the next cycle at which it
+// needs stepping: now+1 after a normal cycle, or the fast-forward target when
+// the SM batch-advanced across an idle stretch (calls for cycles the batch
+// already covered return immediately).
+func (sm *SM) step(now int64) int64 {
+	if now < sm.skipUntil {
+		return sm.skipUntil
+	}
+	if sm.canFastForward(now) {
+		if t := sm.nextRetireCycle(now); t > now {
+			if mc := int64(sm.cfg.MaxCycles); mc > 0 && t > mc {
+				t = mc
+			}
+			if t > now {
+				sm.advanceIdle(now, t)
+				return sm.skipUntil
+			}
+		}
+	}
 	sm.st.Cycles++
 	sm.memPort.Expire(now)
 	sm.writeback(now)
@@ -227,46 +363,214 @@ func (sm *SM) step(now int64) {
 	}
 	sm.issue(now)
 	sm.tickGating(now)
+	sm.emitProbe(now)
+	return now + 1
+}
+
+// canFastForward reports whether nothing observable can happen this cycle or
+// any cycle before the next populated retire bucket: no warp is ready (so no
+// issue, no wakeup demand, no CTA completion), every pipe has drained (so
+// gating controllers see idle and Tick(busy=true) panics are impossible), at
+// least one writeback is pending (otherwise the SM is deadlocked or draining
+// and skipping has no target), and no CTA launch is due. MSHR expiry is
+// deferred soundly: nothing reads the MSHR until the next issue attempt, and
+// ExpireBefore is cumulative.
+func (sm *SM) canFastForward(now int64) bool {
+	return sm.ffEnabled &&
+		sm.readyMask == 0 &&
+		sm.retireCount > 0 &&
+		now >= sm.maxDrainAt &&
+		(sm.ctasRemaining <= 0 || sm.emptySlots == 0)
+}
+
+// advanceIdle advances the SM from cycle now to cycle until (exclusive)
+// without issuing anything, bit-identical to stepping each cycle. It runs in
+// two phases: per-cycle micro-steps while the gating controllers are still
+// transitioning (idle-detect counting, break-even accounting, wakeup
+// countdowns — these cross state boundaries the closed forms must not skip),
+// then one closed-form batch once every controller has settled into a state
+// that constant idle input cannot change.
+func (sm *SM) advanceIdle(now, until int64) {
+	cyc := now
+	for cyc < until && !sm.idleSettled() {
+		sm.microIdleCycle(cyc)
+		cyc++
+	}
+	if n := until - cyc; n > 0 {
+		sm.bulkIdleAdvance(cyc, n)
+	}
+	sm.skipUntil = until
+}
+
+// idleSettled reports whether every gating controller of the SM is in a state
+// that sustained idle input cannot change.
+func (sm *SM) idleSettled() bool {
+	return sm.intCoord.IdleSettled(sm.actv[isa.INT]) &&
+		sm.fpCoord.IdleSettled(sm.actv[isa.FP]) &&
+		sm.sfuPipe.Gate().IdleSettled() &&
+		sm.ldstPipe.Gate().IdleSettled()
+}
+
+// microIdleCycle replays exactly what step does on a cycle with no ready
+// warps, no writebacks, no CTA launches and no busy pipes: statistics,
+// priority update, coordinator directives, controller ticks, adaptive ticks
+// and the probe. Memory-port expiry is deferred to the next real step.
+func (sm *SM) microIdleCycle(now int64) {
+	sm.st.Cycles++
+	sm.refreshCounters()
+	if sm.gatesPol != nil {
+		sm.gatesPol.UpdatePriority(&sm.smState)
+	}
+	sm.intCoord.PreTick(sm.smState.ACTV[isa.INT])
+	sm.fpCoord.PreTick(sm.smState.ACTV[isa.FP])
+	for _, p := range sm.pipes {
+		p.Gate().Tick(false)
+	}
+	// No demand, so the cumulative critical-wakeup counts cannot move.
+	sm.intAdapt.Tick(0)
+	sm.fpAdapt.Tick(0)
+	sm.emitProbe(now)
+}
+
+// bulkIdleAdvance applies n idle cycles starting at cycle from in closed
+// form: occupancy statistics scale linearly, the GATES priority register and
+// the adaptive windows advance arithmetically, and every settled controller
+// batch-updates its counters. The probe (when installed) still fires once
+// per skipped cycle — the lane states are constant by construction, so one
+// buffer serves all n calls and downstream invariant checkers observe the
+// same per-cycle stream stepping would produce.
+func (sm *SM) bulkIdleAdvance(from, n int64) {
+	sm.st.Cycles += n
+	active := bits.OnesCount64(sm.activeMask)
+	sm.st.ActiveWarpSum += uint64(active) * uint64(n)
+	if active > sm.st.ActiveWarpMax {
+		sm.st.ActiveWarpMax = active
+	}
+	sm.smState.ACTV = sm.actv
+	sm.smState.RDY = sm.rdy
+	sm.smState.AllBlackout[isa.INT] = sm.intCoord.AllInBlackout()
+	sm.smState.AllBlackout[isa.FP] = sm.fpCoord.AllInBlackout()
+	if sm.gatesPol != nil {
+		sm.gatesPol.AdvanceIdle(n, &sm.smState)
+	}
+	for _, p := range sm.pipes {
+		p.Gate().AdvanceIdle(n)
+	}
+	sm.intAdapt.AdvanceIdle(n)
+	sm.fpAdapt.AdvanceIdle(n)
 	if sm.probe != nil {
 		sm.laneBuf = sm.laneBuf[:0]
-		for _, p := range sm.allPipes() {
+		for _, p := range sm.pipes {
 			sm.laneBuf = append(sm.laneBuf, LaneState{
 				Class:   p.Class(),
 				Cluster: p.Cluster(),
-				Busy:    p.Busy(now),
+				Busy:    false,
 				State:   p.Gate().State(),
 			})
 		}
-		sm.probe(sm.id, now, sm.laneBuf)
-	}
-}
-
-// writeback retires all operations completing at cycle now.
-func (sm *SM) writeback(now int64) {
-	bucket := &sm.retireRing[now&(retireRingSize-1)]
-	for _, ev := range *bucket {
-		if ev.gen != ev.warp.gen {
-			continue // slot was recycled; the old warp is gone
+		for cyc := from; cyc < from+n; cyc++ {
+			sm.probe(sm.id, cyc, sm.laneBuf)
 		}
-		ev.warp.clearPending(ev.dstMask)
 	}
-	*bucket = (*bucket)[:0]
 }
 
-// scheduleRetire books a future writeback.
-func (sm *SM) scheduleRetire(at int64, w *Warp, dstMask uint64) {
+// emitProbe reports the per-lane gating states for cycle now.
+func (sm *SM) emitProbe(now int64) {
+	if sm.probe == nil {
+		return
+	}
+	sm.laneBuf = sm.laneBuf[:0]
+	for _, p := range sm.pipes {
+		sm.laneBuf = append(sm.laneBuf, LaneState{
+			Class:   p.Class(),
+			Cluster: p.Cluster(),
+			Busy:    p.Busy(now),
+			State:   p.Gate().State(),
+		})
+	}
+	sm.probe(sm.id, now, sm.laneBuf)
+}
+
+// writeback retires all operations completing at cycle now. Within-bucket
+// order is irrelevant: each event only clears its own warp's scoreboard
+// bits, and nothing observes the intermediate states.
+func (sm *SM) writeback(now int64) {
+	idx := now & (retireRingSize - 1)
+	n := sm.retireHead[idx]
+	if n < 0 {
+		return
+	}
+	for n >= 0 {
+		ev := &sm.retirePool[n]
+		if ev.gen == ev.warp.gen {
+			ev.warp.clearPending(ev.dstMask)
+			sm.refreshWarp(ev.warp.id)
+		}
+		next := ev.next
+		ev.next = sm.retireFree
+		sm.retireFree = n
+		sm.retireCount--
+		n = next
+	}
+	sm.retireHead[idx] = -1
+	sm.retireBits[idx>>6] &^= 1 << uint(idx&63)
+}
+
+// scheduleRetire books a future writeback at cycle at (scheduled at cycle
+// now). Events outside the ring horizon would silently alias a past bucket
+// and corrupt the scoreboard, so they panic instead.
+func (sm *SM) scheduleRetire(now, at int64, w *Warp, dstMask uint64) {
 	if dstMask == 0 {
 		return
 	}
-	delta := at - (at & ^int64(retireRingSize-1))
-	_ = delta
-	sm.retireRing[at&(retireRingSize-1)] = append(sm.retireRing[at&(retireRingSize-1)],
-		retireEvent{warp: w, gen: w.gen, dstMask: dstMask})
+	delta := at - now
+	if delta <= 0 || delta >= retireRingSize {
+		panic(fmt.Sprintf("sim: retire scheduled %d cycles ahead, outside the ring horizon [1,%d)",
+			delta, retireRingSize))
+	}
+	idx := at & (retireRingSize - 1)
+	n := sm.retireFree
+	if n >= 0 {
+		sm.retireFree = sm.retirePool[n].next
+	} else {
+		// Pool exhausted: grow it. This stops happening once the pool
+		// reaches the SM's maximum in-flight event count (a few hundred,
+		// bounded by warps × scoreboard width), after which the steady
+		// state is allocation-free.
+		sm.retirePool = append(sm.retirePool, retireEvent{})
+		n = int32(len(sm.retirePool) - 1)
+	}
+	ev := &sm.retirePool[n]
+	ev.warp, ev.gen, ev.dstMask = w, w.gen, dstMask
+	ev.next = sm.retireHead[idx]
+	sm.retireHead[idx] = n
+	sm.retireBits[idx>>6] |= 1 << uint(idx&63)
+	sm.retireCount++
+}
+
+// nextRetireCycle returns the cycle of the earliest populated retire bucket
+// at or after now. Callers must ensure retireCount > 0; the scheduling
+// horizon check guarantees every pending event lies within
+// [now, now+retireRingSize), so bucket order equals cycle order.
+func (sm *SM) nextRetireCycle(now int64) int64 {
+	start := int(now & (retireRingSize - 1))
+	wordIdx := start >> 6
+	if m := sm.retireBits[wordIdx] >> uint(start&63); m != 0 {
+		return now + int64(bits.TrailingZeros64(m))
+	}
+	dist := int64(64 - start&63)
+	nWords := len(sm.retireBits)
+	for k := 1; k <= nWords; k++ {
+		if w := sm.retireBits[(wordIdx+k)&(nWords-1)]; w != 0 {
+			return now + dist + int64(64*(k-1)) + int64(bits.TrailingZeros64(w))
+		}
+	}
+	panic("sim: retireCount > 0 but no populated retire bucket")
 }
 
 // replaceCTAs launches queued CTAs into drained slots.
 func (sm *SM) replaceCTAs() {
-	if sm.ctasRemaining <= 0 {
+	if sm.ctasRemaining <= 0 || sm.emptySlots == 0 {
 		return
 	}
 	for slot := range sm.ctaLive {
@@ -277,33 +581,18 @@ func (sm *SM) replaceCTAs() {
 	}
 }
 
-// refreshCounters recomputes the scheduler-visible per-type counters (the
-// paper's ACTV and RDY registers) and samples occupancy statistics.
+// refreshCounters publishes the incrementally maintained per-type counters to
+// the scheduler-visible snapshot (the paper's ACTV and RDY registers) and
+// samples occupancy statistics.
 func (sm *SM) refreshCounters() {
-	var actv, rdy [isa.NumClasses]int
-	active := 0
-	for _, w := range sm.warps {
-		if w.state != WarpActive {
-			continue
-		}
-		active++
-		in := w.current()
-		if in == nil {
-			continue
-		}
-		c := in.Class()
-		actv[c]++
-		if w.ready() {
-			rdy[c]++
-		}
-	}
-	sm.smState.ACTV = actv
-	sm.smState.RDY = rdy
+	sm.smState.ACTV = sm.actv
+	sm.smState.RDY = sm.rdy
 	sm.smState.AllBlackout[isa.INT] = sm.intCoord.AllInBlackout()
 	sm.smState.AllBlackout[isa.FP] = sm.fpCoord.AllInBlackout()
 	sm.smState.AllBlackout[isa.SFU] = false
 	sm.smState.AllBlackout[isa.LDST] = false
 
+	active := bits.OnesCount64(sm.activeMask)
 	sm.st.ActiveWarpSum += uint64(active)
 	if active > sm.st.ActiveWarpMax {
 		sm.st.ActiveWarpMax = active
@@ -314,12 +603,8 @@ func (sm *SM) refreshCounters() {
 // partitioned between the slots by warp index, as in Fermi.
 func (sm *SM) issue(now int64) {
 	sm.memBlocked = false
-	nsched := len(sm.policies)
-	if sm.candBuf == nil {
-		sm.candBuf = make([][]sched.Candidate, nsched)
-	}
-	for s := 0; s < nsched; s++ {
-		cands := sm.candidates(s, nsched)
+	for s := range sm.policies {
+		cands := sm.candidates(s)
 		if len(cands) == 0 {
 			continue
 		}
@@ -335,15 +620,13 @@ func (sm *SM) issue(now int64) {
 }
 
 // candidates collects ready warps belonging to scheduler slot s into the
-// slot's reusable buffer.
-func (sm *SM) candidates(s, nsched int) []sched.Candidate {
+// slot's reusable buffer, in ascending warp order (the bitset walk matches
+// the old striped table scan).
+func (sm *SM) candidates(s int) []sched.Candidate {
 	out := sm.candBuf[s][:0]
-	for i := s; i < len(sm.warps); i += nsched {
-		w := sm.warps[i]
-		if !w.ready() {
-			continue
-		}
-		out = append(out, sched.Candidate{WarpIdx: i, Class: w.current().Class()})
+	for m := sm.readyMask & sm.slotMask[s]; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		out = append(out, sched.Candidate{WarpIdx: i, Class: sm.warpClass[i]})
 	}
 	sm.candBuf[s] = out
 	return out
@@ -411,7 +694,7 @@ func (sm *SM) issueMemory(now int64, w *Warp, in *isa.Instr) bool {
 		complete := sm.memPort.SharedAccess(now)
 		sm.commitIssue(now, w, in, p, in.InitiationInterval(), in.Latency())
 		if isa.IsLoad(in.Op) {
-			sm.scheduleRetire(complete, w, 1<<uint(in.Dst))
+			sm.scheduleRetire(now, complete, w, 1<<uint(in.Dst))
 		}
 		return true
 	}
@@ -423,8 +706,8 @@ func (sm *SM) issueMemory(now int64, w *Warp, in *isa.Instr) bool {
 	}
 	if !w.memLinesValid {
 		base := w.globalSeq*97 + w.memCounter
-		w.memLines = append(w.memLines[:0],
-			sm.coalescer.Transactions(in.Pattern, in.Region, base, sm.kernel.WorkingSetLines, w.rng)...)
+		w.memLines = sm.coalescer.AppendTransactions(w.memLines[:0],
+			in.Pattern, in.Region, base, sm.kernel.WorkingSetLines, &w.rng)
 		w.memLinesValid = true
 	}
 	lines := w.memLines
@@ -443,7 +726,7 @@ func (sm *SM) issueMemory(now int64, w *Warp, in *isa.Instr) bool {
 	latency := in.Latency() + ii - 1
 	sm.commitIssue(now, w, in, p, ii, latency)
 	if isa.IsLoad(in.Op) {
-		sm.scheduleRetire(res.CompleteAt, w, 1<<uint(in.Dst))
+		sm.scheduleRetire(now, res.CompleteAt, w, 1<<uint(in.Dst))
 	}
 	return true
 }
@@ -456,24 +739,35 @@ func (sm *SM) commitIssue(now int64, w *Warp, in *isa.Instr, p *Pipe, ii, latenc
 	dstMask := in.DstMask()
 	finished := w.advance(in)
 	if dstMask != 0 && !isa.IsMemory(in.Op) {
-		sm.scheduleRetire(now+int64(latency), w, dstMask)
+		sm.scheduleRetire(now, now+int64(latency), w, dstMask)
 	}
 	p.Start(now, in.Op, ii, latency)
+	if d := now + int64(latency); d > sm.maxDrainAt {
+		sm.maxDrainAt = d
+	}
 	if sm.tracer != nil {
 		sm.tracer(sm.id, now, w.id, in.Class(), p.Cluster())
 	}
 	sm.st.IssuedByClass[in.Class()]++
 	sm.st.IssuedTotal++
 	if finished {
+		sm.refreshWarp(w.id)
 		sm.ctaLive[w.ctaSlot]--
 		if sm.ctaLive[w.ctaSlot] < 0 {
 			panic("sim: CTA live count underflow")
 		}
 		if sm.ctaLive[w.ctaSlot] == 0 {
 			sm.st.CTAsCompleted++
+			sm.emptySlots++
+			if sm.ctasRemaining <= 0 && sm.liveMask == 0 {
+				// The transition point GPU.Run's live-SM count hinges on:
+				// the last warp of the last CTA just finished.
+				sm.drained = true
+			}
 		}
 	} else {
 		w.refreshState()
+		sm.refreshWarp(w.id)
 	}
 }
 
@@ -539,30 +833,22 @@ func (sm *SM) signalReadyDemand(rdy [isa.NumClasses]int, class isa.Class, pipes 
 	}
 }
 
-// tickGating advances every gating controller and the adaptive windows.
+// tickGating advances every gating controller and the adaptive windows. The
+// live rdy counters already reflect this cycle's issues (refreshWarp runs at
+// commit), so a warp that just issued is no longer waiting and must not wake
+// a gated unit — the same post-issue view the old re-scan derived.
 func (sm *SM) tickGating(now int64) {
-	// Re-derive the ready counters after issue: a warp that just issued is
-	// no longer waiting, and must not wake a gated unit.
-	var rdy [isa.NumClasses]int
-	for _, w := range sm.warps {
-		if w.ready() {
-			rdy[w.current().Class()]++
-		}
-	}
-	sm.signalReadyDemand(rdy, isa.INT, sm.intPipes)
-	sm.signalReadyDemand(rdy, isa.FP, sm.fpPipes)
-	sm.signalReadyDemand(rdy, isa.SFU, []*Pipe{sm.sfuPipe})
-	sm.signalReadyDemand(rdy, isa.LDST, []*Pipe{sm.ldstPipe})
+	sm.signalReadyDemand(sm.rdy, isa.INT, sm.intPipes)
+	sm.signalReadyDemand(sm.rdy, isa.FP, sm.fpPipes)
+	sm.signalReadyDemand(sm.rdy, isa.SFU, sm.sfuPipes)
+	sm.signalReadyDemand(sm.rdy, isa.LDST, sm.ldstPipes)
+	// The coordinator sees the pre-issue ACTV snapshot (the register that
+	// was latched when the cycle began), not the live post-issue counters.
 	sm.intCoord.PreTick(sm.smState.ACTV[isa.INT])
 	sm.fpCoord.PreTick(sm.smState.ACTV[isa.FP])
-	for _, p := range sm.intPipes {
+	for _, p := range sm.pipes {
 		p.Gate().Tick(p.Busy(now))
 	}
-	for _, p := range sm.fpPipes {
-		p.Gate().Tick(p.Busy(now))
-	}
-	sm.sfuPipe.Gate().Tick(sm.sfuPipe.Busy(now))
-	sm.ldstPipe.Gate().Tick(sm.ldstPipe.Busy(now))
 
 	// Feed per-cycle critical-wakeup deltas to the adaptive windows.
 	curINT := sumCriticals(sm.intPipes)
@@ -584,19 +870,13 @@ func sumCriticals(pipes []*Pipe) uint64 {
 
 // finish closes open idle runs so histograms account for every cycle.
 func (sm *SM) finish() {
-	for _, p := range sm.allPipes() {
+	for _, p := range sm.pipes {
 		p.Gate().Finish()
 	}
 }
 
-// allPipes returns every pipe of the SM.
-func (sm *SM) allPipes() []*Pipe {
-	out := make([]*Pipe, 0, len(sm.intPipes)+len(sm.fpPipes)+2)
-	out = append(out, sm.intPipes...)
-	out = append(out, sm.fpPipes...)
-	out = append(out, sm.sfuPipe, sm.ldstPipe)
-	return out
-}
+// allPipes returns every pipe of the SM in the fixed reporting order.
+func (sm *SM) allPipes() []*Pipe { return sm.pipes }
 
 // Stats returns the SM's counters.
 func (sm *SM) Stats() SMStats { return sm.st }

@@ -60,7 +60,10 @@ type Warp struct {
 	// long-latency memory wait (move to the pending set).
 	producer [isa.NumRegs]isa.Class
 
-	rng        *stats.SplitMix64
+	// rng is held by value: warp slots are recycled across CTA launches and
+	// a fresh heap generator per reset would be the only steady-state
+	// allocation in the launch path.
+	rng        stats.SplitMix64
 	memCounter uint64 // streaming-address counter for coalesced patterns
 	globalSeq  uint64 // globally unique warp sequence number for addressing
 
@@ -86,7 +89,7 @@ func (w *Warp) reset(k *kernels.Kernel, ctaSlot int, globalSeq uint64, seed uint
 	for i := range w.producer {
 		w.producer[i] = 0
 	}
-	w.rng = stats.NewSplitMix64(seed)
+	w.rng.Seed(seed)
 	w.memCounter = 0
 	w.globalSeq = globalSeq
 	w.memLines = w.memLines[:0]

@@ -15,6 +15,11 @@ func NewSplitMix64(seed uint64) *SplitMix64 {
 	return &SplitMix64{state: seed}
 }
 
+// Seed rewinds the generator to the stream defined by seed, equivalent to
+// replacing it with NewSplitMix64(seed). It exists so owners can embed the
+// generator by value and reseed in place instead of allocating.
+func (s *SplitMix64) Seed(seed uint64) { s.state = seed }
+
 // Uint64 returns the next 64-bit value in the stream.
 func (s *SplitMix64) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15
