@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-short bench-go check verify ci
+.PHONY: build test race vet bench bench-short bench-compare bench-go check verify ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ bench:
 bench-short:
 	$(GO) run ./cmd/warpedgates bench -sms 2 -scale 0.1 -out BENCH_sim.json
 
+# Cell-by-cell comparison of two bench artifacts:
+#   make bench-compare OLD=BENCH_old.json NEW=BENCH_sim.json
+OLD ?= BENCH_old.json
+NEW ?= BENCH_sim.json
+bench-compare:
+	$(GO) run ./cmd/warpedgates benchcmp $(OLD) $(NEW)
+
 # Go micro-benchmarks; sub-benchmark names are stable so
 #   go test -bench Matrix -count 10 ./internal/sim | benchstat old.txt new.txt
 # compares cells across commits.
@@ -40,13 +47,16 @@ check: build test
 
 # The verification harness: the full benchmark × technique matrix under the
 # cycle-level invariant checker (with the race detector — the checked matrix
-# exercises the parallel runner), the golden-corpus drift check, and a
-# checked end-to-end run of the verify subcommand on a small machine.
+# exercises both the parallel runner and, via TestCheckedMatrixIntraRunWorkers,
+# the phase-split parallel engine), the golden-corpus drift check, and checked
+# end-to-end runs of the verify subcommand on a small machine with the serial
+# and the parallel engine (-workers 2, one goroutine per SM).
 # Regenerate the corpus after an intentional model change with:
 #   go test ./internal/core -run GoldenMatrix -update
 verify:
 	$(GO) test -race ./internal/check/
 	$(GO) test ./internal/core -run GoldenMatrix
 	$(GO) run ./cmd/warpedgates verify -sms 2 -scale 0.1
+	$(GO) run -race ./cmd/warpedgates verify -sms 2 -scale 0.1 -workers 2
 
 ci: build vet test race verify

@@ -24,6 +24,8 @@ func main() {
 	sms := flag.Int("sms", 6, "number of SMs")
 	scale := flag.Float64("scale", 0.6, "workload scale")
 	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all cores)")
+	workers := flag.Int("workers", 1,
+		"goroutines stepping SMs inside each simulation (1 = serial engine; identical results at any value)")
 	perBench := flag.Bool("bench", false, "print per-benchmark rows")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -50,6 +52,7 @@ func main() {
 
 	cfg := config.GTX480()
 	cfg.NumSMs = *sms
+	cfg.IntraRunWorkers = *workers
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs

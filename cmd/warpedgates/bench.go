@@ -24,10 +24,26 @@ type benchCell struct {
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 }
 
+// scalingPoint is one intra-run worker count on the scaling curve.
+type scalingPoint struct {
+	Workers        int     `json:"workers"`
+	WallMS         float64 `json:"wall_ms"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	// Speedup is serial wall time over this point's wall time (>1 = faster).
+	// Interpret it against "gomaxprocs": on a single-core host the parallel
+	// engine can only pay barrier overhead, so points below 1 are expected
+	// there and say nothing about multi-core scaling.
+	Speedup float64 `json:"speedup"`
+}
+
 // benchReport is the BENCH_sim.json payload.
 type benchReport struct {
 	SMs   int     `json:"sms"`
 	Scale float64 `json:"scale"`
+	// GOMAXPROCS records how many cores the measurement could actually use —
+	// required context for judging IntraRunScaling.
+	GOMAXPROCS int `json:"gomaxprocs"`
 
 	// SteadyState measures the hot loop alone (one busy SM, warmed buffers):
 	// its allocs_per_cycle is the zero-allocation claim of the simulator.
@@ -42,6 +58,12 @@ type benchReport struct {
 	// fast-forward enabled; their alloc counts include device construction,
 	// amortized over the run.
 	Cells []benchCell `json:"cells"`
+
+	// IntraRunScaling is the phase-split engine's scaling curve: hotspot
+	// under the full proposal with fast-forward disabled (so the stepped
+	// loop dominates), re-run at growing intra-run worker counts. The
+	// workers=1 point is the serial engine and anchors the speedups.
+	IntraRunScaling []scalingPoint `json:"intra_run_scaling"`
 
 	Totals struct {
 		FastForwardMS float64 `json:"fast_forward_ms"`
@@ -59,6 +81,7 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	sms := fs.Int("sms", 6, "number of SMs")
 	scale := fs.Float64("scale", 0.25, "workload scale factor")
+	workers := addWorkersFlag(fs)
 	out := fs.String("out", "BENCH_sim.json", "output JSON path")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -71,10 +94,12 @@ func cmdBench(args []string) error {
 
 	base := config.GTX480()
 	base.NumSMs = *sms
+	base.IntraRunWorkers = *workers
 
 	var rep benchReport
 	rep.SMs = *sms
 	rep.Scale = *scale
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
 	runCell := func(bench string, tech core.Technique, disableFF bool) (benchCell, error) {
 		cfg := tech.Apply(base)
@@ -130,6 +155,48 @@ func cmdBench(args []string) error {
 		rep.Totals.Speedup = rep.Totals.SteppedMS / rep.Totals.FastForwardMS
 	}
 
+	// Intra-run scaling curve: the same stepped run at growing worker
+	// counts. Candidate counts are clamped to the SM count (extra workers
+	// would shard nothing) and deduplicated; -sms 15 yields the full
+	// {1,2,4,8,15} curve of the GTX480 machine.
+	scaleCfg := core.WarpedGates.Apply(base)
+	scaleCfg.DisableFastForward = true
+	scaleKernel := kernels.MustBenchmark("hotspot").Scale(*scale)
+	var serialMS float64
+	for _, w := range []int{1, 2, 4, 8, *sms} {
+		if w > *sms {
+			continue
+		}
+		if n := len(rep.IntraRunScaling); n > 0 && rep.IntraRunScaling[n-1].Workers == w {
+			continue
+		}
+		cfg := scaleCfg
+		cfg.IntraRunWorkers = w
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		gpu, err := sim.NewGPU(cfg, scaleKernel)
+		if err != nil {
+			return err
+		}
+		r := gpu.Run()
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		pt := scalingPoint{Workers: w, WallMS: float64(wall.Nanoseconds()) / 1e6}
+		if r.Cycles > 0 {
+			pt.NsPerCycle = float64(wall.Nanoseconds()) / float64(r.Cycles)
+			pt.AllocsPerCycle = float64(m1.Mallocs-m0.Mallocs) / float64(r.Cycles)
+		}
+		if w == 1 {
+			serialMS = pt.WallMS
+		}
+		if serialMS > 0 && pt.WallMS > 0 {
+			pt.Speedup = serialMS / pt.WallMS
+		}
+		rep.IntraRunScaling = append(rep.IntraRunScaling, pt)
+	}
+
 	// Steady-state hot-loop cost: a busy SM under the full proposal. Ten
 	// retire-ring revolutions of warmup let the event arena reach its
 	// high-water mark, after which the measured window allocates nothing.
@@ -160,6 +227,11 @@ func cmdBench(args []string) error {
 	fmt.Printf("steady state: %.0f ns/cycle, %g allocs/cycle\n", ns, allocs)
 	fmt.Printf("matrix: fast-forward %.0f ms, stepped %.0f ms, speedup %.2fx\n",
 		rep.Totals.FastForwardMS, rep.Totals.SteppedMS, rep.Totals.Speedup)
+	fmt.Printf("intra-run scaling (hotspot stepped, %d cores):", rep.GOMAXPROCS)
+	for _, pt := range rep.IntraRunScaling {
+		fmt.Printf(" w%d=%.2fx", pt.Workers, pt.Speedup)
+	}
+	fmt.Println()
 	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Cells))
 	return nil
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"warpedgates/internal/stats"
+)
+
+// cmdBenchcmp compares two BENCH_sim.json artifacts (old first, new second)
+// cell by cell, printing per-cell wall-clock speedups plus the steady-state
+// and intra-run-scaling deltas. Its exit status is always zero — the tool
+// reports, thresholds are the reader's policy — but cells present in only
+// one file are called out so silent matrix drift can't hide.
+func cmdBenchcmp(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("benchcmp wants exactly two arguments: OLD.json NEW.json")
+	}
+	oldRep, err := readBenchReport(args[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := readBenchReport(args[1])
+	if err != nil {
+		return err
+	}
+	if oldRep.SMs != newRep.SMs || oldRep.Scale != newRep.Scale {
+		fmt.Printf("note: machine mismatch — old sms=%d scale=%g, new sms=%d scale=%g; speedups conflate code and configuration\n",
+			oldRep.SMs, oldRep.Scale, newRep.SMs, newRep.Scale)
+	}
+
+	type cellKey struct{ bench, tech string }
+	oldCells := make(map[cellKey]benchCell, len(oldRep.Cells))
+	for _, c := range oldRep.Cells {
+		oldCells[cellKey{c.Bench, c.Technique}] = c
+	}
+
+	t := stats.NewTable(fmt.Sprintf("bench comparison: %s -> %s", args[0], args[1]),
+		"benchmark", "technique", "old ms", "new ms", "speedup", "old ns/cyc", "new ns/cyc")
+	matched := 0
+	for _, nc := range newRep.Cells {
+		oc, ok := oldCells[cellKey{nc.Bench, nc.Technique}]
+		if !ok {
+			fmt.Printf("note: %s/%s only in %s\n", nc.Bench, nc.Technique, args[1])
+			continue
+		}
+		delete(oldCells, cellKey{nc.Bench, nc.Technique})
+		matched++
+		speedup := 0.0
+		if nc.WallMS > 0 {
+			speedup = oc.WallMS / nc.WallMS
+		}
+		t.AddRowf(nc.Bench, nc.Technique, oc.WallMS, nc.WallMS, speedup, oc.NsPerCycle, nc.NsPerCycle)
+	}
+	for k := range oldCells {
+		fmt.Printf("note: %s/%s only in %s\n", k.bench, k.tech, args[0])
+	}
+	fmt.Println(t)
+
+	if o, n := oldRep.SteadyState, newRep.SteadyState; o.NsPerCycle > 0 && n.NsPerCycle > 0 {
+		fmt.Printf("steady state: %.0f -> %.0f ns/cycle (%.2fx), %g -> %g allocs/cycle\n",
+			o.NsPerCycle, n.NsPerCycle, o.NsPerCycle/n.NsPerCycle, o.AllocsPerCycle, n.AllocsPerCycle)
+	}
+	if o, n := oldRep.Totals, newRep.Totals; o.FastForwardMS > 0 && n.FastForwardMS > 0 {
+		fmt.Printf("matrix wall: %.0f -> %.0f ms (%.2fx)\n",
+			o.FastForwardMS, n.FastForwardMS, o.FastForwardMS/n.FastForwardMS)
+	}
+	for _, which := range []struct {
+		name string
+		rep  *benchReport
+	}{{args[0], oldRep}, {args[1], newRep}} {
+		if len(which.rep.IntraRunScaling) == 0 {
+			continue
+		}
+		fmt.Printf("intra-run scaling in %s (%d cores):", which.name, which.rep.GOMAXPROCS)
+		for _, pt := range which.rep.IntraRunScaling {
+			fmt.Printf(" w%d=%.2fx", pt.Workers, pt.Speedup)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("compared %d cells\n", matched)
+	return nil
+}
+
+// readBenchReport loads one BENCH_sim.json payload.
+func readBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

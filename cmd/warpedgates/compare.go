@@ -19,11 +19,13 @@ func cmdCompare(args []string) error {
 	sms := fs.Int("sms", 15, "number of SMs")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
+	workers := addWorkersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := config.GTX480()
 	cfg.NumSMs = *sms
+	cfg.IntraRunWorkers = *workers
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs

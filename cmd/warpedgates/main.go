@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"warpedgates/internal/config"
@@ -67,6 +68,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "benchcmp":
+		err = cmdBenchcmp(os.Args[2:])
 	case "characterize":
 		err = cmdCharacterize(os.Args[2:])
 	case "compare":
@@ -87,17 +90,45 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   warpedgates list
-  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F] [-j N]
-  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-csv DIR] [-v]
+  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F] [-j N] [-workers N]
+  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-workers N] [-csv DIR] [-v]
   warpedgates trace -bench <name> -tech <technique> [-from C] [-cycles N]
-  warpedgates verify [-sms N] [-scale F] [-j N] [-bench <name>] [-tech <technique>] [-v]
-  warpedgates bench [-sms N] [-scale F] [-out BENCH_sim.json]
-  warpedgates characterize [-sms N] [-scale F] [-j N]
-  warpedgates compare [-sms N] [-scale F] [-j N]
+  warpedgates verify [-sms N] [-scale F] [-j N] [-workers N] [-bench <name>] [-tech <technique>] [-v]
+  warpedgates bench [-sms N] [-scale F] [-workers N] [-out BENCH_sim.json]
+  warpedgates benchcmp OLD.json NEW.json
+  warpedgates characterize [-sms N] [-scale F] [-j N] [-workers N]
+  warpedgates compare [-sms N] [-scale F] [-j N] [-workers N]
 
 -j bounds the simulation worker pool (0, the default, uses every core);
-figure regeneration is deterministic at any -j. run, figure, verify and bench
-also accept -cpuprofile FILE and -memprofile FILE for pprof output.`)
+figure regeneration is deterministic at any -j. -workers sets how many
+goroutines step SMs inside each simulation (default 1, or the
+WARPEDGATES_WORKERS environment variable; results are bit-identical at any
+value — the runner shrinks its -j budget so jobs x workers stays within -j).
+trace stays on the serial engine: it renders a globally ordered event stream.
+run, figure, verify and bench also accept -cpuprofile FILE and
+-memprofile FILE for pprof output.`)
+}
+
+// addWorkersFlag registers the shared -workers flag. Its default comes from
+// the WARPEDGATES_WORKERS environment knob (mirroring the WARPEDGATES_J
+// convention of the bench harness), falling back to 1 — the serial engine.
+// Values above 1 select the phase-split parallel engine, which is
+// bit-identical to serial at any worker count, so this is purely a
+// wall-clock knob.
+func addWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", envWorkers(),
+		"goroutines stepping SMs inside each simulation (1 = serial engine; identical results at any value)")
+}
+
+// envWorkers parses WARPEDGATES_WORKERS; unset, malformed or negative values
+// mean the serial default.
+func envWorkers() int {
+	if v := os.Getenv("WARPEDGATES_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
 }
 
 func cmdList() error {
@@ -126,6 +157,7 @@ func cmdRun(args []string) error {
 	sms := fs.Int("sms", 15, "number of SMs")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
+	workers := addWorkersFlag(fs)
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +172,7 @@ func cmdRun(args []string) error {
 	}
 	cfg := config.GTX480()
 	cfg.NumSMs = *sms
+	cfg.IntraRunWorkers = *workers
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs
@@ -169,6 +202,7 @@ func cmdFigure(args []string) error {
 	sms := fs.Int("sms", 15, "number of SMs")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
+	workers := addWorkersFlag(fs)
 	verbose := fs.Bool("v", false, "print progress")
 	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
 	prof := addProfileFlags(fs)
@@ -186,6 +220,7 @@ func cmdFigure(args []string) error {
 	}
 	cfg := config.GTX480()
 	cfg.NumSMs = *sms
+	cfg.IntraRunWorkers = *workers
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs

@@ -28,9 +28,10 @@ import (
 	"warpedgates/internal/sim"
 )
 
-// MaxViolations bounds how many violations one Checker records in detail;
-// beyond it only the count grows. A single broken invariant typically fires
-// every cycle, so the cap keeps a failing run's error readable.
+// MaxViolations bounds how many violations each SM's shard (and the
+// device-level Finish pass) records in detail; beyond it only the count
+// grows. A single broken invariant typically fires every cycle, so the cap
+// keeps a failing run's error readable.
 const MaxViolations = 50
 
 // Violation is one detected invariant breach.
@@ -47,23 +48,33 @@ func (v Violation) String() string {
 }
 
 // Checker verifies one simulation. Build it with New, install with Attach,
-// run the GPU, then call Finish with the final report. Not safe for
-// concurrent use; attach exactly one Checker per GPU.
+// run the GPU, then call Finish with the final report. Attach exactly one
+// Checker per GPU. Observation state is sharded per SM with no shared
+// mutable fields, so the probe and tracer callbacks of *different* SMs may
+// fire concurrently — which is exactly what the parallel engine
+// (config.IntraRunWorkers > 1) does, each worker goroutine stepping its own
+// SM shard. Callbacks for one SM must stay serial (the simulator guarantees
+// this: an SM is stepped by one goroutine), and Finish plus the accessors
+// must be called after the run completes.
 type Checker struct {
 	cfg    config.Config
 	kernel *kernels.Kernel // may be nil: the drained-work check is then skipped
 
-	sms map[int]*smChecker
+	sms []*smChecker // indexed by SM id; nil until first observed
 
+	// Aggregates over the shards, computed by Finish (single-threaded).
 	issuedByClass [isa.NumClasses]uint64
 	issuedTotal   uint64
 
+	// Device-level (Finish-pass) evaluations and breaches; the per-SM
+	// counterparts live on the shards.
 	checks     uint64
 	violations []Violation
 	dropped    uint64
 }
 
-// smChecker holds the per-SM observation state.
+// smChecker holds one SM's observation state — including its own check and
+// violation counters, so concurrent shards never write-share.
 type smChecker struct {
 	id        int
 	ticks     int64
@@ -72,6 +83,13 @@ type smChecker struct {
 
 	pend      []issueRec // issue events of the in-progress cycle
 	pendCycle int64
+
+	issuedByClass [isa.NumClasses]uint64
+	issuedTotal   uint64
+
+	checks     uint64
+	violations []Violation
+	dropped    uint64
 }
 
 // issueRec is one buffered issue-tracer event, matched against the same
@@ -120,7 +138,11 @@ type laneChecker struct {
 // when the workload is not known (the drained-instruction-count check is then
 // skipped); every other invariant still applies.
 func New(cfg config.Config, k *kernels.Kernel) *Checker {
-	return &Checker{cfg: cfg, kernel: k, sms: make(map[int]*smChecker)}
+	n := cfg.NumSMs
+	if n < 1 {
+		n = 1
+	}
+	return &Checker{cfg: cfg, kernel: k, sms: make([]*smChecker, n)}
 }
 
 // Attach installs the checker's probes on g. It replaces any probe or tracer
@@ -130,23 +152,49 @@ func (c *Checker) Attach(g *sim.GPU) {
 	g.SetIssueTracer(c.onIssue)
 }
 
-// Checks returns the number of individual invariant evaluations performed.
-func (c *Checker) Checks() uint64 { return c.checks }
+// Checks returns the number of individual invariant evaluations performed,
+// summed over the SM shards and the device-level Finish pass.
+func (c *Checker) Checks() uint64 {
+	total := c.checks
+	for _, s := range c.sms {
+		if s != nil {
+			total += s.checks
+		}
+	}
+	return total
+}
 
-// Violations returns the recorded violations (capped at MaxViolations).
-func (c *Checker) Violations() []Violation { return c.violations }
+// Violations returns the recorded violations (each shard capped at
+// MaxViolations) in ascending SM-id order, device-level checks last — a
+// deterministic order regardless of how many goroutines drove the run.
+func (c *Checker) Violations() []Violation {
+	var out []Violation
+	for _, s := range c.sms {
+		if s != nil {
+			out = append(out, s.violations...)
+		}
+	}
+	return append(out, c.violations...)
+}
 
 // Err summarizes all violations as one error, or nil for a clean run.
 func (c *Checker) Err() error {
-	if len(c.violations) == 0 && c.dropped == 0 {
+	vs := c.Violations()
+	dropped := c.dropped
+	for _, s := range c.sms {
+		if s != nil {
+			dropped += s.dropped
+		}
+	}
+	if len(vs) == 0 && dropped == 0 {
 		return nil
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "check: %d invariant violation(s)", uint64(len(c.violations))+c.dropped)
+	fmt.Fprintf(&b, "check: %d invariant violation(s)", uint64(len(vs))+dropped)
 	const show = 10
-	for i, v := range c.violations {
+	for i, v := range vs {
 		if i == show {
-			fmt.Fprintf(&b, "\n  ... and %d more", uint64(len(c.violations)-show)+c.dropped)
+			fmt.Fprintf(&b, "\n  ... and %d more", uint64(len(vs)-show)+dropped)
 			break
 		}
 		fmt.Fprintf(&b, "\n  %s", v)
@@ -154,7 +202,8 @@ func (c *Checker) Err() error {
 	return errors.New(b.String())
 }
 
-// violate records one breach, keeping at most MaxViolations details.
+// violate records one device-level breach (the Finish pass), keeping at most
+// MaxViolations details.
 func (c *Checker) violate(smID int, cycle int64, rule, format string, args ...interface{}) {
 	if len(c.violations) >= MaxViolations {
 		c.dropped++
@@ -162,6 +211,17 @@ func (c *Checker) violate(smID int, cycle int64, rule, format string, args ...in
 	}
 	c.violations = append(c.violations, Violation{
 		SM: smID, Cycle: cycle, Rule: rule, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// violate records one breach against this SM's shard.
+func (s *smChecker) violate(cycle int64, rule, format string, args ...interface{}) {
+	if len(s.violations) >= MaxViolations {
+		s.dropped++
+		return
+	}
+	s.violations = append(s.violations, Violation{
+		SM: s.id, Cycle: cycle, Rule: rule, Detail: fmt.Sprintf(format, args...),
 	})
 }
 
@@ -192,8 +252,12 @@ func laneName(class isa.Class, cluster int) string {
 	return fmt.Sprintf("%s%d", class, cluster)
 }
 
-// sm returns (creating on first sight) the per-SM state.
+// sm returns (creating on first sight) the per-SM state. Slot smID is only
+// ever touched by the goroutine stepping that SM, so creation needs no lock.
 func (c *Checker) sm(smID int) *smChecker {
+	if smID < 0 || smID >= len(c.sms) {
+		panic(fmt.Sprintf("check: probe from SM %d outside the configured %d SMs", smID, len(c.sms)))
+	}
 	s := c.sms[smID]
 	if s == nil {
 		s = &smChecker{id: smID, lastCycle: -1, pendCycle: -1}
@@ -206,24 +270,24 @@ func (c *Checker) sm(smID int) *smChecker {
 // maintains the conserved instruction totals.
 func (c *Checker) onIssue(smID int, cycle int64, warpIdx int, class isa.Class, cluster int) {
 	s := c.sm(smID)
-	c.checks++
+	s.checks++
 	if !class.Valid() {
-		c.violate(smID, cycle, "issue-class", "issue with invalid class %v", class)
+		s.violate(cycle, "issue-class", "issue with invalid class %v", class)
 		return
 	}
 	if s.pendCycle != cycle {
 		if len(s.pend) > 0 {
 			// The previous cycle's issues were never matched by a probe:
 			// the hook wiring itself is broken.
-			c.violate(smID, cycle, "issue-probe-skew",
+			s.violate(cycle, "issue-probe-skew",
 				"%d unmatched issue events from cycle %d", len(s.pend), s.pendCycle)
 			s.pend = s.pend[:0]
 		}
 		s.pendCycle = cycle
 	}
 	s.pend = append(s.pend, issueRec{warp: warpIdx, class: class, cluster: cluster})
-	c.issuedByClass[class]++
-	c.issuedTotal++
+	s.issuedByClass[class]++
+	s.issuedTotal++
 }
 
 // onProbe is the per-cycle heart of the checker: it validates the lane
@@ -234,9 +298,9 @@ func (c *Checker) onProbe(smID int, cycle int64, lanes []sim.LaneState) {
 
 	// An SM steps every cycle from its first step until it drains, so probe
 	// cycles must be contiguous.
-	c.checks++
+	s.checks++
 	if s.lastCycle >= 0 && cycle != s.lastCycle+1 {
-		c.violate(smID, cycle, "probe-continuity", "probe jumped from cycle %d to %d", s.lastCycle, cycle)
+		s.violate(cycle, "probe-continuity", "probe jumped from cycle %d to %d", s.lastCycle, cycle)
 	}
 	s.lastCycle = cycle
 	s.ticks++
@@ -253,17 +317,17 @@ func (c *Checker) onProbe(smID int, cycle int64, lanes []sim.LaneState) {
 			})
 		}
 	}
-	c.checks++
+	s.checks++
 	if len(lanes) != len(s.lanes) {
-		c.violate(smID, cycle, "lane-layout", "probe with %d lanes, first probe had %d", len(lanes), len(s.lanes))
+		s.violate(cycle, "lane-layout", "probe with %d lanes, first probe had %d", len(lanes), len(s.lanes))
 		s.pend = s.pend[:0]
 		return
 	}
 	for i := range lanes {
 		l := s.lanes[i]
-		c.checks++
+		s.checks++
 		if l.class != lanes[i].Class || l.cluster != lanes[i].Cluster {
-			c.violate(smID, cycle, "lane-layout", "lane %d is %s, first probe had %s",
+			s.violate(cycle, "lane-layout", "lane %d is %s, first probe had %s",
 				i, laneName(lanes[i].Class, lanes[i].Cluster), laneName(l.class, l.cluster))
 			continue
 		}
@@ -275,9 +339,9 @@ func (c *Checker) onProbe(smID int, cycle int64, lanes []sim.LaneState) {
 // laneCycle advances one lane's shadow state machine by one observed cycle.
 func (c *Checker) laneCycle(s *smChecker, l *laneChecker, cycle int64, ls sim.LaneState) {
 	st := ls.State
-	c.checks++
+	s.checks++
 	if int(st) >= len(l.obs) {
-		c.violate(s.id, cycle, "state-range", "%s in unknown state %v", laneName(l.class, l.cluster), st)
+		s.violate(cycle, "state-range", "%s in unknown state %v", laneName(l.class, l.cluster), st)
 		return
 	}
 	l.obs[st]++
@@ -288,9 +352,9 @@ func (c *Checker) laneCycle(s *smChecker, l *laneChecker, cycle int64, ls sim.La
 	}
 
 	// A gated or waking unit never has an instruction in its pipeline.
-	c.checks++
+	s.checks++
 	if ls.Busy && st != gating.StActive {
-		c.violate(s.id, cycle, "busy-while-unpowered", "%s busy in state %s", laneName(l.class, l.cluster), st)
+		s.violate(cycle, "busy-while-unpowered", "%s busy in state %s", laneName(l.class, l.cluster), st)
 	}
 
 	// Idle-run bookkeeping mirrors Controller.endIdleRun exactly (same
@@ -308,7 +372,7 @@ func (c *Checker) laneCycle(s *smChecker, l *laneChecker, cycle int64, ls sim.La
 		prev = l.prev
 	}
 	bet, delay := c.cfg.BreakEven, c.cfg.WakeupDelay
-	c.checks++
+	s.checks++
 	switch prev {
 	case gating.StActive:
 		switch st {
@@ -318,26 +382,26 @@ func (c *Checker) laneCycle(s *smChecker, l *laneChecker, cycle int64, ls sim.La
 			l.gatingEvents++
 			l.uncompRun = 1
 		default:
-			c.violate(s.id, cycle, "illegal-transition", "%s Active -> %s", laneName(l.class, l.cluster), st)
+			s.violate(cycle, "illegal-transition", "%s Active -> %s", laneName(l.class, l.cluster), st)
 		}
 	case gating.StUncompensated:
 		switch st {
 		case gating.StUncompensated:
 			l.uncompRun++
 			if l.uncompRun > bet {
-				c.violate(s.id, cycle, "bet-overrun",
+				s.violate(cycle, "bet-overrun",
 					"%s uncompensated for %d cycles, break-even is %d", laneName(l.class, l.cluster), l.uncompRun, bet)
 			}
 		case gating.StCompensated:
 			if l.uncompRun != bet {
-				c.violate(s.id, cycle, "bet-miscount",
+				s.violate(cycle, "bet-miscount",
 					"%s compensated after %d uncompensated cycles, want exactly %d", laneName(l.class, l.cluster), l.uncompRun, bet)
 			}
 		case gating.StWakeup, gating.StActive:
 			// Waking before break-even: legal only for conventional gating
 			// (a negative event); blackout policies must serve their time.
 			if isBlackout(l.kind) {
-				c.violate(s.id, cycle, "blackout-early-wake",
+				s.violate(cycle, "blackout-early-wake",
 					"%s (%s) woke %d cycles into a %d-cycle break-even window", laneName(l.class, l.cluster), l.kind, l.uncompRun, bet)
 			}
 			l.wakeups++
@@ -351,23 +415,23 @@ func (c *Checker) laneCycle(s *smChecker, l *laneChecker, cycle int64, ls sim.La
 			l.wakeups++
 			l.beginWake(c, s, cycle, st, delay)
 		default:
-			c.violate(s.id, cycle, "illegal-transition", "%s Compensated -> %s", laneName(l.class, l.cluster), st)
+			s.violate(cycle, "illegal-transition", "%s Compensated -> %s", laneName(l.class, l.cluster), st)
 		}
 	case gating.StWakeup:
 		switch st {
 		case gating.StWakeup:
 			l.wakeRun++
 			if l.wakeRun > delay {
-				c.violate(s.id, cycle, "wakeup-overrun",
+				s.violate(cycle, "wakeup-overrun",
 					"%s waking for %d cycles, delay is %d", laneName(l.class, l.cluster), l.wakeRun, delay)
 			}
 		case gating.StActive:
 			if l.wakeRun != delay {
-				c.violate(s.id, cycle, "wakeup-latency",
+				s.violate(cycle, "wakeup-latency",
 					"%s became operational after %d wakeup cycles, want %d", laneName(l.class, l.cluster), l.wakeRun, delay)
 			}
 		default:
-			c.violate(s.id, cycle, "illegal-transition", "%s Wakeup -> %s", laneName(l.class, l.cluster), st)
+			s.violate(cycle, "illegal-transition", "%s Wakeup -> %s", laneName(l.class, l.cluster), st)
 		}
 	}
 	l.prev = st
@@ -378,16 +442,16 @@ func (c *Checker) laneCycle(s *smChecker, l *laneChecker, cycle int64, ls sim.La
 // wakeup delay the unit is operational immediately (never observed in
 // StWakeup); otherwise it must pass through exactly delay StWakeup cycles.
 func (l *laneChecker) beginWake(c *Checker, s *smChecker, cycle int64, st gating.State, delay int) {
-	c.checks++
+	s.checks++
 	if st == gating.StActive {
 		if delay != 0 {
-			c.violate(s.id, cycle, "wakeup-skipped",
+			s.violate(cycle, "wakeup-skipped",
 				"%s went gated -> Active directly with wakeup delay %d", laneName(l.class, l.cluster), delay)
 		}
 		return
 	}
 	if delay == 0 {
-		c.violate(s.id, cycle, "wakeup-spurious",
+		s.violate(cycle, "wakeup-spurious",
 			"%s entered Wakeup with a zero wakeup delay", laneName(l.class, l.cluster))
 	}
 	l.wakeRun = 1
@@ -418,27 +482,27 @@ func (c *Checker) matchIssues(s *smChecker, cycle int64, lanes []sim.LaneState) 
 	if len(s.pend) == 0 {
 		return
 	}
-	c.checks++
+	s.checks++
 	if s.pendCycle != cycle {
-		c.violate(s.id, cycle, "issue-probe-skew",
+		s.violate(cycle, "issue-probe-skew",
 			"%d issue events from cycle %d matched against probe cycle %d", len(s.pend), s.pendCycle, cycle)
 		s.pend = s.pend[:0]
 		return
 	}
-	c.checks++
+	s.checks++
 	if len(s.pend) > c.cfg.NumSchedulers {
-		c.violate(s.id, cycle, "issue-width",
+		s.violate(cycle, "issue-width",
 			"%d issues in one cycle with %d schedulers", len(s.pend), c.cfg.NumSchedulers)
 	}
 	for i, ev := range s.pend {
-		c.checks += 2
+		s.checks += 2
 		for j := 0; j < i; j++ {
 			if s.pend[j].warp == ev.warp {
-				c.violate(s.id, cycle, "double-issue",
+				s.violate(cycle, "double-issue",
 					"warp %d issued twice in one cycle (scoreboard breach)", ev.warp)
 			}
 			if s.pend[j].class == ev.class && s.pend[j].cluster == ev.cluster {
-				c.violate(s.id, cycle, "port-double-issue",
+				s.violate(cycle, "port-double-issue",
 					"%s accepted two issues in one cycle", laneName(ev.class, ev.cluster))
 			}
 		}
@@ -448,20 +512,20 @@ func (c *Checker) matchIssues(s *smChecker, cycle int64, lanes []sim.LaneState) 
 				continue
 			}
 			found = true
-			c.checks += 2
+			s.checks += 2
 			if lanes[k].State != gating.StActive {
-				c.violate(s.id, cycle, "issue-to-gated",
+				s.violate(cycle, "issue-to-gated",
 					"warp %d issued to %s while it is %s", ev.warp, laneName(ev.class, ev.cluster), lanes[k].State)
 			}
 			if !lanes[k].Busy {
-				c.violate(s.id, cycle, "issue-not-busy",
+				s.violate(cycle, "issue-not-busy",
 					"warp %d issued to %s but the pipe shows no occupancy", ev.warp, laneName(ev.class, ev.cluster))
 			}
 			break
 		}
-		c.checks++
+		s.checks++
 		if !found {
-			c.violate(s.id, cycle, "issue-unknown-lane",
+			s.violate(cycle, "issue-unknown-lane",
 				"issue to unprobed lane %s", laneName(ev.class, ev.cluster))
 		}
 	}

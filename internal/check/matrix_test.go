@@ -48,6 +48,46 @@ func TestCheckedMatrix(t *testing.T) {
 	t.Logf("verified %d simulations, %d invariant evaluations", runs, checks)
 }
 
+// TestCheckedMatrixIntraRunWorkers re-runs the checked matrix with the
+// phase-split parallel engine stepping SMs on multiple goroutines
+// (IntraRunWorkers = NumSMs, one SM per worker). Every invariant must still
+// hold, and — because the checker shards per SM and the engine serializes
+// memory arbitration — the reports must fingerprint-identical to the serial
+// engine's. Under `go test -race` this is the data-race acceptance gate for
+// the parallel engine.
+func TestCheckedMatrixIntraRunWorkers(t *testing.T) {
+	base := config.Small()
+	base.IntraRunWorkers = base.NumSMs
+	var sum check.Summary
+	r := checkedRunner(base, matrixScale, &sum)
+	serial := checkedRunner(config.Small(), matrixScale, nil)
+	for _, tech := range core.AllTechniques() {
+		par, err := r.RunAllParallel(tech)
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		ser, err := serial.RunAllParallel(tech)
+		if err != nil {
+			t.Fatalf("%s serial: %v", tech, err)
+		}
+		for i := range par {
+			fp, fs := core.FingerprintReport(par[i].Report), core.FingerprintReport(ser[i].Report)
+			if fp != fs {
+				t.Errorf("%s/%s: parallel engine diverged from serial:\n  serial:   %s\n  parallel: %s",
+					par[i].Benchmark, tech, fs, fp)
+			}
+		}
+	}
+	runs, checks := sum.Snapshot()
+	if want := len(kernels.BenchmarkNames) * len(core.AllTechniques()); runs != want {
+		t.Fatalf("checked %d simulations, want %d", runs, want)
+	}
+	if checks == 0 {
+		t.Fatal("checker performed zero invariant evaluations")
+	}
+	t.Logf("verified %d parallel-engine simulations, %d invariant evaluations", runs, checks)
+}
+
 // TestMetamorphicSeedDeterminism: the same configuration simulated twice on
 // independent runners produces byte-identical reports, and a different seed
 // still satisfies every invariant.

@@ -119,6 +119,14 @@ type Config struct {
 
 	MaxCycles int    // hard stop; 0 means run until all work drains
 	Seed      uint64 // extra entropy mixed into every PRNG stream
+	// IntraRunWorkers is the number of goroutines stepping the SM array
+	// within one simulation. 0 or 1 selects the serial engine; larger values
+	// select the phase-split parallel engine (bit-identical to serial — SMs
+	// compute in parallel against private state and the shared L2/DRAM sees
+	// staged requests in canonical SM-id order), clamped to NumSMs. The
+	// worker count never affects results, only wall-clock time, so it is
+	// excluded from the experiment runner's cache key.
+	IntraRunWorkers int
 	// DisableFastForward turns off the idle fast-forward, forcing the
 	// simulator to step every cycle individually. The fast-forward is
 	// cycle-exact (identical reports, probes and histograms), so this knob
@@ -162,8 +170,9 @@ func GTX480() Config {
 		L2Sets:        256,
 		L2Ways:        8,
 
-		MaxCycles: 0,
-		Seed:      0x5eed,
+		MaxCycles:       0,
+		Seed:            0x5eed,
+		IntraRunWorkers: 1,
 	}
 }
 
@@ -203,6 +212,7 @@ func (c *Config) Validate() error {
 		check(c.MSHRPerSM > 0, "MSHRPerSM must be positive, got %d", c.MSHRPerSM),
 		check(c.DRAMSlots > 0, "DRAMSlots must be positive, got %d", c.DRAMSlots),
 		check(c.MaxCycles >= 0, "MaxCycles must be non-negative, got %d", c.MaxCycles),
+		check(c.IntraRunWorkers >= 0, "IntraRunWorkers must be non-negative, got %d", c.IntraRunWorkers),
 		check(c.GATESMaxHold >= 0, "GATESMaxHold must be non-negative, got %d", c.GATESMaxHold),
 	}
 	for _, err := range checks {

@@ -28,12 +28,23 @@ func techniqueJobs(base config.Config, benches []string, techs ...Technique) []J
 	return jobs
 }
 
-// workers returns the effective worker-pool bound.
+// workers returns the effective job-level worker-pool bound. When the base
+// configuration runs each simulation on several goroutines
+// (Base.IntraRunWorkers > 1), the job budget shrinks so that
+// jobs × intra-run workers stays within the -j budget: the two axes multiply,
+// and oversubscribing cores makes both slower.
 func (r *Runner) workers() int {
-	if r.Parallelism > 0 {
-		return r.Parallelism
+	w := r.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if iw := r.Base.IntraRunWorkers; iw > 1 {
+		w /= iw
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
 }
 
 // RunMany simulates every job on a bounded worker pool (Parallelism workers,

@@ -55,7 +55,9 @@ type cacheEntry struct {
 	err  error
 }
 
-// runKey identifies a unique simulation.
+// runKey identifies a unique simulation. IntraRunWorkers is deliberately
+// absent: the parallel engine is bit-identical to the serial one, so runs
+// that differ only in worker count share one cache slot.
 type runKey struct {
 	bench      string
 	scheduler  config.SchedulerKind

@@ -85,3 +85,27 @@ func TestWorkingSetWrap(t *testing.T) {
 		t.Fatalf("line index %d outside working set", idx)
 	}
 }
+
+func TestStridedWrapEmitsDuplicates(t *testing.T) {
+	// A strided pattern over a working set smaller than its fan-out wraps and
+	// repeats lines — so MSHR admission control must not charge each repeat a
+	// fresh entry (CanIssueGlobal dedupes). This pins the behaviour the
+	// admission fix is sized against; if the coalescer ever dedupes strided
+	// patterns itself, this test and the admission scan can both simplify.
+	c := NewCoalescer()
+	lines := c.Transactions(isa.PatternStrided2, 0, 0, 1, nil)
+	if len(lines) != 2 || lines[0] != lines[1] {
+		t.Fatalf("Strided2 over a 1-line working set = %v, want a duplicated line", lines)
+	}
+	seen := map[Line]bool{}
+	dup := false
+	for _, l := range c.Transactions(isa.PatternStrided8, 3, 5, 4, nil) {
+		if seen[l] {
+			dup = true
+		}
+		seen[l] = true
+	}
+	if !dup {
+		t.Fatal("Strided8 over a 4-line working set emitted no duplicate")
+	}
+}

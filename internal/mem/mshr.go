@@ -1,6 +1,17 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// pendingFill marks an MSHR entry whose completion cycle is not yet known: a
+// staged device access allocated during the parallel compute phase, patched
+// with the real fill cycle by the serial arbitration phase of the same cycle.
+// MaxInt64 can never be reached by the clock, so an unpatched entry can never
+// expire — Patch is guaranteed to run before any lookup that depends on the
+// value, and a leak would surface as a permanently occupied entry.
+const pendingFill = math.MaxInt64
 
 // MSHR models the miss-status holding registers of one SM's L1: a bounded
 // table of outstanding miss lines, each tagged with the cycle its fill
@@ -48,6 +59,27 @@ func (m *MSHR) Allocate(line Line, completeAt int64) {
 	}
 	m.pending[line] = completeAt
 	m.allocs++
+}
+
+// AllocatePending records an outstanding miss for line whose fill cycle is
+// not yet known (the access was staged, not resolved). The entry occupies
+// capacity immediately — admission control during the compute phase sees the
+// same occupancy the serial engine would — and Patch supplies the completion
+// cycle during the arbitration phase of the same cycle.
+func (m *MSHR) AllocatePending(line Line) { m.Allocate(line, pendingFill) }
+
+// Patch sets the completion cycle of a previously staged entry. It panics if
+// the line has no entry or was already patched — both indicate a stage/resolve
+// protocol violation, not a recoverable condition.
+func (m *MSHR) Patch(line Line, completeAt int64) {
+	c, ok := m.pending[line]
+	if !ok {
+		panic(fmt.Sprintf("mem: MSHR patch for line %#x with no staged entry", uint64(line)))
+	}
+	if c != pendingFill {
+		panic(fmt.Sprintf("mem: MSHR double patch for line %#x", uint64(line)))
+	}
+	m.pending[line] = completeAt
 }
 
 // NoteMerge counts a secondary miss merged into an existing entry.

@@ -112,3 +112,46 @@ func TestMSHRNeverExceedsCapacityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMSHRPatchCompletesStagedEntry(t *testing.T) {
+	m := NewMSHR(2)
+	m.AllocatePending(3)
+	// An unpatched entry is pending but can never expire.
+	if _, ok := m.Lookup(3); !ok {
+		t.Fatal("staged entry not pending")
+	}
+	m.ExpireBefore(1 << 62)
+	if m.InFlight() != 1 {
+		t.Fatal("staged entry expired before being patched")
+	}
+	m.Patch(3, 100)
+	if done, _ := m.Lookup(3); done != 100 {
+		t.Fatalf("patched completion = %d, want 100", done)
+	}
+	m.ExpireBefore(100)
+	if m.InFlight() != 0 {
+		t.Fatal("patched entry did not expire")
+	}
+}
+
+func TestMSHRPatchWithoutEntryPanics(t *testing.T) {
+	m := NewMSHR(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("patch of a missing entry did not panic")
+		}
+	}()
+	m.Patch(9, 5)
+}
+
+func TestMSHRDoublePatchPanics(t *testing.T) {
+	m := NewMSHR(1)
+	m.AllocatePending(9)
+	m.Patch(9, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double patch did not panic")
+		}
+	}()
+	m.Patch(9, 6)
+}

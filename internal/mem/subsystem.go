@@ -67,13 +67,51 @@ func (g *GPUMem) Stats() (l2Acc, l2Miss, dramReqs, queueDelay uint64) {
 	return g.l2Accesses, g.l2Misses, g.dramReqs, g.queueDelay
 }
 
+// stagedKind classifies one line of a staged global access for the resolve
+// phase. L1 hits need no record: they are covered by the base hit latency and
+// never touch shared state.
+const (
+	stageMerge  uint8 = iota // secondary miss: read the (patched) MSHR fill cycle
+	stageDevice              // primary miss: send to the device, patch the MSHR
+)
+
+// stagedOp is one line of a staged access that the arbitration phase must
+// still act on.
+type stagedOp struct {
+	line Line
+	kind uint8
+}
+
+// stagedAccess is one warp global access staged during the compute phase: a
+// run of nOps entries in the port's op buffer plus the statistics already
+// known at stage time.
+type stagedAccess struct {
+	nOps         int32
+	transactions int32
+	l1Misses     int32
+}
+
 // SMPort is one SM's private view of the memory system: its L1 data cache,
 // MSHR table, shared-memory latency, and a handle to the device-level L2/DRAM.
+//
+// Global accesses go through a stage/resolve pair: StageGlobal performs every
+// SM-private effect (L1 fill, MSHR occupancy, merge accounting) and records
+// the lines that need the shared device, and ResolveStaged replays those
+// lines against the L2/DRAM model. The serial engine resolves immediately
+// after staging; the parallel engine stages from worker goroutines and
+// resolves in canonical SM-id order from the arbitration phase, so both
+// engines drive the device through the same code path in the same order.
 type SMPort struct {
 	cfg  config.Config
 	l1   *Cache
 	mshr *MSHR
 	gpu  *GPUMem
+
+	// Staged-access buffers, reused across cycles (appends allocate only
+	// until the high-water mark is reached, keeping the steady state
+	// allocation-free).
+	stagedOps  []stagedOp
+	stagedAccs []stagedAccess
 
 	sharedAccesses uint64
 	globalAccesses uint64
@@ -107,14 +145,29 @@ func (p *SMPort) SharedAccess(now int64) int64 {
 
 // CanIssueGlobal reports whether a global access with the given transaction
 // fan-out can be accepted this cycle. Admission is conservative: every
-// transaction without an outstanding fill is assumed to need a fresh MSHR
-// entry, even if it currently probes as an L1 hit, because an earlier
-// transaction of the same warp access can evict that line before it is
-// serviced. Real MSHR admission control is similarly worst-case.
+// distinct transaction line without an outstanding fill is assumed to need a
+// fresh MSHR entry, even if it currently probes as an L1 hit, because an
+// earlier transaction of the same warp access can evict that line before it
+// is serviced. Duplicate lines in the same access count once: the first
+// occurrence allocates the entry and later ones merge with it, so charging
+// each repeat a fresh entry would reject accesses the table can in fact hold
+// (the coalescer emits duplicates when a strided pattern wraps a small
+// working set). The inner scan is quadratic but lines is bounded by the warp
+// transaction fan-out (at most 8).
 func (p *SMPort) CanIssueGlobal(lines []Line) bool {
 	need := 0
-	for _, l := range lines {
-		if _, pending := p.mshr.Lookup(l); !pending {
+	for i, l := range lines {
+		if _, pending := p.mshr.Lookup(l); pending {
+			continue
+		}
+		dup := false
+		for _, e := range lines[:i] {
+			if e == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			need++
 		}
 	}
@@ -126,38 +179,94 @@ func (p *SMPort) CanIssueGlobal(lines []Line) bool {
 	return true
 }
 
-// GlobalAccess issues one warp global access covering the given lines at
-// cycle now and returns its timing. Callers must have checked CanIssueGlobal
-// in the same cycle.
-func (p *SMPort) GlobalAccess(now int64, lines []Line) Result {
-	res := Result{Transactions: len(lines)}
-	latest := now + int64(p.cfg.L1HitLatency)
+// StageGlobal performs the SM-private half of one warp global access: L1
+// lookups and fills, MSHR merge accounting and occupancy reservation. Lines
+// that need the shared device are recorded for ResolveStaged; nothing here
+// touches state outside the SM, so worker goroutines stepping disjoint SMs
+// may stage concurrently. Callers must have checked CanIssueGlobal in the
+// same cycle.
+func (p *SMPort) StageGlobal(lines []Line) {
 	p.globalAccesses++
+	acc := stagedAccess{transactions: int32(len(lines))}
 	for _, l := range lines {
-		if done, pending := p.mshr.Lookup(l); pending {
-			// Secondary miss: merge with the outstanding fill.
+		if _, pending := p.mshr.Lookup(l); pending {
+			// Secondary miss: merge with the outstanding fill. The fill cycle
+			// is read at resolve time, after any same-cycle primary miss to
+			// the same line has been patched.
 			p.mshr.NoteMerge()
-			res.L1Misses++
-			if done > latest {
-				latest = done
-			}
+			acc.l1Misses++
+			p.stagedOps = append(p.stagedOps, stagedOp{line: l, kind: stageMerge})
+			acc.nOps++
 			continue
 		}
 		if p.l1.Access(l) {
 			continue // L1 hit: covered by the base hit latency
 		}
-		res.L1Misses++
-		done, l2miss := p.gpu.AccessLine(now, l)
-		if l2miss {
-			res.L2Misses++
-		}
-		p.mshr.Allocate(l, done)
-		if done > latest {
-			latest = done
-		}
+		acc.l1Misses++
+		p.mshr.AllocatePending(l)
+		p.stagedOps = append(p.stagedOps, stagedOp{line: l, kind: stageDevice})
+		acc.nOps++
 	}
-	res.CompleteAt = latest
-	return res
+	p.stagedAccs = append(p.stagedAccs, acc)
+}
+
+// ResolveStaged applies every access staged since the last resolve to the
+// shared device, in staging order, and reports each access's timing through
+// fn (i is the access's staging index). It must be called at the cycle the
+// accesses were staged, from the serial arbitration phase — this is the only
+// SMPort path that touches the device-level L2/DRAM.
+func (p *SMPort) ResolveStaged(now int64, fn func(i int, res Result)) {
+	op := 0
+	for i := range p.stagedAccs {
+		acc := &p.stagedAccs[i]
+		res := Result{
+			Transactions: int(acc.transactions),
+			L1Misses:     int(acc.l1Misses),
+		}
+		latest := now + int64(p.cfg.L1HitLatency)
+		for k := int32(0); k < acc.nOps; k++ {
+			o := p.stagedOps[op]
+			op++
+			var done int64
+			switch o.kind {
+			case stageMerge:
+				var ok bool
+				done, ok = p.mshr.Lookup(o.line)
+				if !ok {
+					panic(fmt.Sprintf("mem: staged merge for line %#x with no MSHR entry", uint64(o.line)))
+				}
+			case stageDevice:
+				var l2miss bool
+				done, l2miss = p.gpu.AccessLine(now, o.line)
+				if l2miss {
+					res.L2Misses++
+				}
+				p.mshr.Patch(o.line, done)
+			}
+			if done > latest {
+				latest = done
+			}
+		}
+		res.CompleteAt = latest
+		fn(i, res)
+	}
+	p.stagedOps = p.stagedOps[:0]
+	p.stagedAccs = p.stagedAccs[:0]
+}
+
+// GlobalAccess issues one warp global access covering the given lines at
+// cycle now and returns its timing. It is the serial engine's path: a stage
+// followed by an immediate resolve, so serial and parallel runs share one
+// implementation and cannot drift. Callers must have checked CanIssueGlobal
+// in the same cycle and must not have other accesses staged.
+func (p *SMPort) GlobalAccess(now int64, lines []Line) Result {
+	if len(p.stagedAccs) != 0 {
+		panic("mem: GlobalAccess with accesses already staged — resolve them first")
+	}
+	p.StageGlobal(lines)
+	var out Result
+	p.ResolveStaged(now, func(_ int, res Result) { out = res })
+	return out
 }
 
 // Occupancy returns the number of in-flight miss entries.

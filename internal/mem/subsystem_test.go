@@ -144,3 +144,86 @@ func TestOccupancyTracksExpiry(t *testing.T) {
 		t.Fatalf("occupancy = %d after expiry", p.Occupancy())
 	}
 }
+
+func TestCanIssueGlobalDeduplicatesLines(t *testing.T) {
+	cfg := testCfg()
+	cfg.MSHRPerSM = 2
+	p := NewSMPort(cfg, NewGPUMem(cfg))
+	// Three transactions over two distinct lines need two entries, not three:
+	// the first occurrence of line 1 allocates and the repeat merges. The
+	// coalescer emits exactly this shape when a strided pattern wraps a
+	// working set smaller than its fan-out.
+	if !p.CanIssueGlobal([]Line{1, 2, 1}) {
+		t.Fatal("duplicate line charged a fresh MSHR entry")
+	}
+	res := p.GlobalAccess(0, []Line{1, 2, 1})
+	if res.Transactions != 3 || res.L1Misses != 3 {
+		t.Fatalf("duplicate access stats = %+v", res)
+	}
+	if p.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2 (one entry per distinct line)", p.Occupancy())
+	}
+	_, merges, _ := p.MSHRStats()
+	if merges != 1 {
+		t.Fatalf("merges = %d, want 1 (the repeated line)", merges)
+	}
+	// All distinct and the table full: admission must still reject.
+	if p.CanIssueGlobal([]Line{3}) {
+		t.Fatal("full MSHR accepted a new line")
+	}
+}
+
+func TestStageResolveMatchesInlineAccess(t *testing.T) {
+	cfg := testCfg()
+	// Two ports against two identical devices: one issues inline, the other
+	// stages everything and resolves at the end of the "cycle". Timing and
+	// statistics must match exactly — this is the contract the parallel
+	// engine's arbitration phase is built on.
+	inline := NewSMPort(cfg, NewGPUMem(cfg))
+	staged := NewSMPort(cfg, NewGPUMem(cfg))
+	accesses := [][]Line{
+		{7},          // cold DRAM miss
+		{7},          // same-cycle merge with the staged entry
+		{8, 9, 8},    // fan-out with a duplicate
+		{1 << 41},    // different region
+	}
+	var want []Result
+	for _, lines := range accesses {
+		want = append(want, inline.GlobalAccess(0, lines))
+	}
+	for _, lines := range accesses {
+		staged.StageGlobal(lines)
+	}
+	var got []Result
+	staged.ResolveStaged(0, func(i int, res Result) {
+		if i != len(got) {
+			t.Fatalf("resolve order: got index %d, want %d", i, len(got))
+		}
+		got = append(got, res)
+	})
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("access %d: inline %+v, staged %+v", i, want[i], got[i])
+		}
+	}
+	ia, im, _ := inline.MSHRStats()
+	sa, sm, _ := staged.MSHRStats()
+	if ia != sa || im != sm {
+		t.Fatalf("MSHR stats diverged: inline %d/%d staged %d/%d", ia, im, sa, sm)
+	}
+	if inline.Occupancy() != staged.Occupancy() {
+		t.Fatalf("occupancy diverged: %d vs %d", inline.Occupancy(), staged.Occupancy())
+	}
+}
+
+func TestGlobalAccessPanicsWithStagedBacklog(t *testing.T) {
+	cfg := testCfg()
+	p := NewSMPort(cfg, NewGPUMem(cfg))
+	p.StageGlobal([]Line{4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GlobalAccess with a staged backlog did not panic")
+		}
+	}()
+	p.GlobalAccess(0, []Line{5})
+}

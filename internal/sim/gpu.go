@@ -39,8 +39,13 @@ func NewGPU(cfg config.Config, k *kernels.Kernel) (*GPU, error) {
 }
 
 // Run executes the workload to completion (or cfg.MaxCycles) and returns the
-// final report.
+// final report. With cfg.IntraRunWorkers > 1 the phase-split parallel engine
+// (runParallel) steps the SM array on several goroutines; its results are
+// bit-identical to the serial loop below.
 func (g *GPU) Run() *Report {
+	if w := g.workerCount(); w > 1 {
+		return g.runParallel(w)
+	}
 	// Completion is event-driven rather than scanned: an SM flips its drained
 	// flag at the transition point (last warp of its last CTA finishing, in
 	// commitIssue), and Run only maintains the count of SMs still holding
@@ -88,6 +93,19 @@ func (g *GPU) Run() *Report {
 		sm.finish()
 	}
 	return g.report()
+}
+
+// workerCount clamps the configured intra-run worker count to the SM array:
+// shards are per-SM, so goroutines beyond NumSMs could only idle.
+func (g *GPU) workerCount() int {
+	w := g.cfg.IntraRunWorkers
+	if w > len(g.sms) {
+		w = len(g.sms)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Cycle returns the current simulated cycle.

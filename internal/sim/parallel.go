@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel engine: the SM array is stepped by several worker goroutines
+// while every observable stays bit-identical to the serial loop in GPU.Run.
+//
+// Each device cycle splits into two phases. In the compute phase, workers
+// step disjoint contiguous SM shards for the same cycle; sm.step touches only
+// SM-private state (warp tables, pipes, gating controllers, L1, MSHR) and
+// *stages* global-memory requests on its port instead of calling the shared
+// L2/DRAM inline (sm.memStage). In the arbitration phase — the serial section
+// run by the last worker to reach the barrier — staged requests drain to the
+// shared device in ascending SM-id order, which is exactly the order the
+// serial loop's in-line accesses produce, so L2 contents, DRAM channel
+// queueing and every timing result match the serial engine bit for bit. The
+// arbitration phase then advances the device clock to the minimum next-wake
+// across shards (composing with the idle fast-forward, as the serial loop
+// does) and decides termination.
+//
+// The determinism argument rests on three properties of sm.step:
+//   - it reads and writes nothing outside its SM once memory is staged, so
+//     compute-phase interleaving is irrelevant;
+//   - its return value never depends on memory resolution: a normal cycle
+//     returns now+1 unconditionally, and the fast-forward paths require
+//     readyMask == 0, which precludes issuing (and therefore staging)
+//     anything that cycle;
+//   - everything resolution patches (MSHR fill cycles, retire-ring events)
+//     is only read by the *next* step, which runs after the barrier.
+//
+// One atomic synchronization point per device cycle: an arrival counter plus
+// an epoch word form a sense-reversing barrier. Workers spin briefly on the
+// epoch and then yield, so the engine degrades gracefully when goroutines
+// outnumber cores.
+
+// spinYield is how many barrier polls a worker burns before yielding the
+// processor. Small enough to stay polite on oversubscribed machines, large
+// enough to catch the common case where the serial section is a few hundred
+// nanoseconds.
+const spinYield = 64
+
+// shardResult is one worker's per-phase contribution, padded to a cache line
+// so workers never write-share.
+type shardResult struct {
+	wake    int64 // min wake among the shard's still-live SMs, -1 if none
+	drained int64 // SMs of the shard that drained this phase
+	_       [48]byte
+}
+
+// parRun is the shared state of one parallel run. live, done, g.cycle and
+// g.ranOut are owned by the serial section; workers read them only after
+// observing the epoch advance that the serial section precedes.
+type parRun struct {
+	g         *GPU
+	workers   int32
+	maxCycles int64
+	shards    []shardResult
+
+	arrived atomic.Int32
+	epoch   atomic.Uint32
+
+	live int
+	done bool
+}
+
+// runParallel is the parallel counterpart of the serial loop in Run.
+func (g *GPU) runParallel(workers int) *Report {
+	live := 0
+	for _, sm := range g.sms {
+		if sm.done() {
+			sm.drained = true
+		} else {
+			live++
+		}
+		sm.memStage = true
+	}
+	if live > 0 {
+		pr := &parRun{
+			g:         g,
+			workers:   int32(workers),
+			maxCycles: int64(g.cfg.MaxCycles),
+			shards:    make([]shardResult, workers),
+			live:      live,
+		}
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				pr.worker(w)
+			}(w)
+		}
+		pr.worker(0)
+		wg.Wait()
+	}
+	for _, sm := range g.sms {
+		sm.finish()
+		sm.memStage = false
+	}
+	return g.report()
+}
+
+// worker steps the contiguous SM shard [w*n/W, (w+1)*n/W) once per device
+// cycle; the last worker to arrive at the barrier runs the serial arbitration
+// phase and releases the others by advancing the epoch.
+func (pr *parRun) worker(w int) {
+	g := pr.g
+	n := len(g.sms)
+	lo := w * n / int(pr.workers)
+	hi := (w + 1) * n / int(pr.workers)
+	sentinel := pr.epoch.Load()
+	for {
+		cycle := g.cycle
+		wake, drained := int64(-1), int64(0)
+		for i := lo; i < hi; i++ {
+			sm := g.sms[i]
+			if sm.drained {
+				continue
+			}
+			wk := sm.step(cycle)
+			if sm.drained {
+				drained++
+				continue
+			}
+			if wake < 0 || wk < wake {
+				wake = wk
+			}
+		}
+		s := &pr.shards[w]
+		s.wake, s.drained = wake, drained
+		if pr.arrived.Add(1) == pr.workers {
+			pr.serial(cycle)
+			pr.arrived.Store(0)
+			pr.epoch.Add(1)
+		} else {
+			for spins := 0; pr.epoch.Load() == sentinel; spins++ {
+				if spins >= spinYield {
+					runtime.Gosched()
+				}
+			}
+		}
+		sentinel++
+		if pr.done {
+			return
+		}
+	}
+}
+
+// serial is the arbitration phase, run with every worker parked at the
+// barrier: staged memory requests drain to the shared device in ascending
+// SM-id order, the clock advances to the minimum wake across shards, and
+// termination is decided with the same semantics as the serial loop (a run
+// whose last SM drains is complete even if the next cycle would cross
+// MaxCycles; a run that crosses it with work left sets ranOut).
+func (pr *parRun) serial(cycle int64) {
+	g := pr.g
+	for _, sm := range g.sms {
+		sm.resolveMemory(cycle)
+	}
+	next := int64(-1)
+	for i := range pr.shards {
+		s := &pr.shards[i]
+		pr.live -= int(s.drained)
+		if s.wake >= 0 && (next < 0 || s.wake < next) {
+			next = s.wake
+		}
+	}
+	if next < 0 {
+		// The last live SM drained this cycle; account the cycle as the
+		// serial loop does before exiting.
+		g.cycle++
+	} else {
+		g.cycle = next
+	}
+	if pr.live <= 0 {
+		pr.done = true
+		return
+	}
+	if pr.maxCycles > 0 && g.cycle >= pr.maxCycles {
+		g.ranOut = true
+		pr.done = true
+	}
+}

@@ -32,6 +32,15 @@ type retireEvent struct {
 	next    int32 // pool index of the next event in the same bucket, -1 ends
 }
 
+// stagedRetire is the SM-side record of one staged global access: the warp
+// whose load writeback must be booked once the arbitration phase computes the
+// access's completion cycle. Stores stage too (they occupy MSHR entries and
+// reach the device) but have no destination, so their dstMask is zero.
+type stagedRetire struct {
+	w       *Warp
+	dstMask uint64
+}
+
 // SMStats aggregates the per-SM counters the figures are computed from.
 type SMStats struct {
 	Cycles          int64
@@ -134,6 +143,14 @@ type SM struct {
 	// this cycle; the MSHR is SM-wide, so further LDST candidates are
 	// skipped until next cycle.
 	memBlocked bool
+
+	// memStage, set by the parallel engine, makes issueMemory stage global
+	// accesses on the port instead of resolving them inline; resolveMemory
+	// then applies them to the shared device during the serial arbitration
+	// phase and books the deferred load writebacks. stagedRet records one
+	// entry per staged access, in staging order (dstMask 0 for stores).
+	memStage  bool
+	stagedRet []stagedRetire
 
 	benchSeed uint64
 	st        SMStats
@@ -716,19 +733,49 @@ func (sm *SM) issueMemory(now int64, w *Warp, in *isa.Instr) bool {
 		sm.memBlocked = true
 		return false
 	}
-	res := sm.memPort.GlobalAccess(now, lines)
-	w.memCounter++
-	w.memLinesValid = false
-	ii := res.Transactions
+	// The pipe occupancy and issue latency depend only on the transaction
+	// fan-out, never on where the lines hit — which is what lets the parallel
+	// engine finish the cycle before the shared device has answered.
+	ii := len(lines)
 	if ii < 1 {
 		ii = 1
 	}
 	latency := in.Latency() + ii - 1
-	sm.commitIssue(now, w, in, p, ii, latency)
+	var dstMask uint64
 	if isa.IsLoad(in.Op) {
-		sm.scheduleRetire(now, res.CompleteAt, w, 1<<uint(in.Dst))
+		dstMask = 1 << uint(in.Dst)
 	}
+	if sm.memStage {
+		sm.memPort.StageGlobal(lines)
+		sm.stagedRet = append(sm.stagedRet, stagedRetire{w: w, dstMask: dstMask})
+		w.memCounter++
+		w.memLinesValid = false
+		sm.commitIssue(now, w, in, p, ii, latency)
+		return true
+	}
+	res := sm.memPort.GlobalAccess(now, lines)
+	w.memCounter++
+	w.memLinesValid = false
+	sm.commitIssue(now, w, in, p, ii, latency)
+	sm.scheduleRetire(now, res.CompleteAt, w, dstMask)
 	return true
+}
+
+// resolveMemory is the SM's share of the arbitration phase: it drains the
+// cycle's staged global accesses to the shared device (in staging order —
+// ascending SM id across SMs is the caller's responsibility) and books the
+// deferred load writebacks. Deferring scheduleRetire past the end of step is
+// invisible: the retire ring is only read by the next step's writeback and
+// fast-forward scan, both of which run after this phase.
+func (sm *SM) resolveMemory(now int64) {
+	if len(sm.stagedRet) == 0 {
+		return
+	}
+	sm.memPort.ResolveStaged(now, func(i int, res mem.Result) {
+		r := sm.stagedRet[i]
+		sm.scheduleRetire(now, res.CompleteAt, r.w, r.dstMask)
+	})
+	sm.stagedRet = sm.stagedRet[:0]
 }
 
 // commitIssue performs the bookkeeping common to every successful issue.
