@@ -23,12 +23,16 @@ race:
 # The profiled bench harness: times the full benchmark × technique matrix
 # with and without the idle fast-forward, measures the steady-state
 # per-cycle cost (which must report 0 allocs/cycle), and writes
-# BENCH_sim.json. bench-short is the CI-sized variant.
+# BENCH_sim.json. bench-short is the CI-sized variant; FLOOR (default 0 =
+# off) gates the intra-run scaling curve — `make bench-short FLOOR=1.5`
+# exits nonzero if 2 workers don't reach a 1.5x speedup (skipped with a
+# warning on single-core hosts, which can't exhibit scaling at all).
+FLOOR ?= 0
 bench:
-	$(GO) run ./cmd/warpedgates bench -sms 6 -scale 0.25 -out BENCH_sim.json
+	$(GO) run ./cmd/warpedgates bench -sms 6 -scale 0.25 -floor $(FLOOR) -out BENCH_sim.json
 
 bench-short:
-	$(GO) run ./cmd/warpedgates bench -sms 2 -scale 0.1 -out BENCH_sim.json
+	$(GO) run ./cmd/warpedgates bench -sms 2 -scale 0.1 -floor $(FLOOR) -out BENCH_sim.json
 
 # Cell-by-cell comparison of two bench artifacts:
 #   make bench-compare OLD=BENCH_old.json NEW=BENCH_sim.json

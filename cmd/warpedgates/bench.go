@@ -83,6 +83,7 @@ func cmdBench(args []string) error {
 	scale := fs.Float64("scale", 0.25, "workload scale factor")
 	workers := addWorkersFlag(fs)
 	out := fs.String("out", "BENCH_sim.json", "output JSON path")
+	floor := fs.Float64("floor", 0, "minimum intra-run speedup at 2 workers; exit nonzero below it (0 disables; skipped with a warning on single-core hosts)")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -233,5 +234,32 @@ func cmdBench(args []string) error {
 	}
 	fmt.Println()
 	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Cells))
-	return nil
+	return checkScalingFloor(&rep, *floor)
+}
+
+// checkScalingFloor enforces the -floor gate: the 2-worker point of the
+// intra-run scaling curve must reach the given speedup. On a host where the
+// runtime cannot schedule two workers in parallel the curve measures only
+// barrier overhead, so the gate warns and passes rather than fail on a
+// machine that cannot exhibit scaling at all.
+func checkScalingFloor(rep *benchReport, floor float64) error {
+	if floor <= 0 {
+		return nil
+	}
+	if rep.GOMAXPROCS < 2 {
+		fmt.Fprintf(os.Stderr, "bench: -floor %.2f skipped — GOMAXPROCS=%d cannot run workers in parallel\n",
+			floor, rep.GOMAXPROCS)
+		return nil
+	}
+	for _, pt := range rep.IntraRunScaling {
+		if pt.Workers != 2 {
+			continue
+		}
+		if pt.Speedup < floor {
+			return fmt.Errorf("bench: intra-run speedup at 2 workers is %.2fx, below the %.2fx floor", pt.Speedup, floor)
+		}
+		fmt.Printf("floor gate: w2=%.2fx >= %.2fx\n", pt.Speedup, floor)
+		return nil
+	}
+	return fmt.Errorf("bench: -floor %.2f set but the scaling curve has no 2-worker point", floor)
 }

@@ -25,9 +25,9 @@ func cmdBenchcmp(args []string) error {
 	if err != nil {
 		return err
 	}
-	if oldRep.SMs != newRep.SMs || oldRep.Scale != newRep.Scale {
-		fmt.Printf("note: machine mismatch — old sms=%d scale=%g, new sms=%d scale=%g; speedups conflate code and configuration\n",
-			oldRep.SMs, oldRep.Scale, newRep.SMs, newRep.Scale)
+	if oldRep.SMs != newRep.SMs || oldRep.Scale != newRep.Scale || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Printf("note: machine mismatch — old sms=%d scale=%g cores=%d, new sms=%d scale=%g cores=%d; speedups conflate code and configuration\n",
+			oldRep.SMs, oldRep.Scale, oldRep.GOMAXPROCS, newRep.SMs, newRep.Scale, newRep.GOMAXPROCS)
 	}
 
 	type cellKey struct{ bench, tech string }
@@ -47,8 +47,10 @@ func cmdBenchcmp(args []string) error {
 		}
 		delete(oldCells, cellKey{nc.Bench, nc.Technique})
 		matched++
-		speedup := 0.0
-		if nc.WallMS > 0 {
+		// A non-positive wall time means the cell was not measured (or the
+		// clock misbehaved); a "0.00x" there would read as a real regression.
+		speedup := interface{}("n/a")
+		if nc.WallMS > 0 && oc.WallMS > 0 {
 			speedup = oc.WallMS / nc.WallMS
 		}
 		t.AddRowf(nc.Bench, nc.Technique, oc.WallMS, nc.WallMS, speedup, oc.NsPerCycle, nc.NsPerCycle)

@@ -133,6 +133,40 @@ type Config struct {
 	// exists only for equivalence testing and debugging; the zero value
 	// leaves it enabled.
 	DisableFastForward bool
+
+	// --- Intra-run parallel engine tuning ---
+	//
+	// BatchCycles and MemBanks tune the exact parallel engine and can never
+	// change a result, only wall-clock time (like IntraRunWorkers they are
+	// excluded from the experiment runner's cache key). EpochRelaxedCycles
+	// changes observable timing and is part of the cache key.
+
+	// BatchCycles bounds how many device cycles workers may step their SM
+	// shards between arbitration points when no shard has a staged global
+	// access pending. Staging mid-batch stops the staging SM at that cycle,
+	// so any value is bit-identical to the serial engine; the knob only
+	// trades barrier frequency against re-alignment granularity. 0 selects
+	// the default (64).
+	BatchCycles int
+	// MemBanks shards the device-level L2/DRAM arbitration by address bank
+	// (line % MemBanks) so the resolve phase itself runs on the workers.
+	// Must be a power of two dividing both L2Sets and DRAMSlots, which makes
+	// the per-bank caches and channel queues an exact partition of the
+	// unified model (identical set indexing, identical channel mapping) —
+	// the sharding is timing-invisible at any value. 0 selects the largest
+	// power of two <= 8 that divides both.
+	MemBanks int
+	// EpochRelaxedCycles, when positive, opts the parallel engine into
+	// bounded cycle skew: SM shards run full epochs of this many cycles
+	// between arbitration points without stopping at staged accesses, and
+	// staged requests drain at epoch end in (SM, staging-order) rather than
+	// cycle order. Results are still deterministic for a fixed configuration
+	// but are no longer bit-identical to the serial engine; the error is
+	// bounded and measured against the golden corpus (see EXPERIMENTS.md).
+	// Must not exceed L1HitLatency (the shortest staged completion), which
+	// guarantees every deferred writeback still lands ahead of the shard's
+	// frontier. 0 (the default) keeps the engine exact.
+	EpochRelaxedCycles int
 }
 
 // GTX480 returns the paper's baseline configuration.
@@ -186,6 +220,29 @@ func Small() Config {
 	return c
 }
 
+// EffectiveMemBanks resolves the MemBanks knob: the configured value, or the
+// largest power of two <= 8 that divides both L2Sets and DRAMSlots (falling
+// back to 1, which degenerates to the unified model).
+func (c *Config) EffectiveMemBanks() int {
+	if c.MemBanks > 0 {
+		return c.MemBanks
+	}
+	for b := 8; b > 1; b >>= 1 {
+		if c.L2Sets%b == 0 && c.DRAMSlots%b == 0 {
+			return b
+		}
+	}
+	return 1
+}
+
+// EffectiveBatchCycles resolves the BatchCycles knob (0 means the default 64).
+func (c *Config) EffectiveBatchCycles() int {
+	if c.BatchCycles > 0 {
+		return c.BatchCycles
+	}
+	return 64
+}
+
 // Validate checks the configuration for internal consistency.
 func (c *Config) Validate() error {
 	check := func(ok bool, format string, args ...interface{}) error {
@@ -214,6 +271,17 @@ func (c *Config) Validate() error {
 		check(c.MaxCycles >= 0, "MaxCycles must be non-negative, got %d", c.MaxCycles),
 		check(c.IntraRunWorkers >= 0, "IntraRunWorkers must be non-negative, got %d", c.IntraRunWorkers),
 		check(c.GATESMaxHold >= 0, "GATESMaxHold must be non-negative, got %d", c.GATESMaxHold),
+		check(c.BatchCycles >= 0, "BatchCycles must be non-negative, got %d", c.BatchCycles),
+		check(c.MemBanks >= 0, "MemBanks must be non-negative, got %d", c.MemBanks),
+		check(c.MemBanks == 0 || c.MemBanks&(c.MemBanks-1) == 0,
+			"MemBanks must be a power of two, got %d", c.MemBanks),
+		check(c.MemBanks == 0 || (c.L2Sets%c.MemBanks == 0 && c.DRAMSlots%c.MemBanks == 0),
+			"MemBanks (%d) must divide L2Sets (%d) and DRAMSlots (%d) for an exact partition",
+			c.MemBanks, c.L2Sets, c.DRAMSlots),
+		check(c.EpochRelaxedCycles >= 0, "EpochRelaxedCycles must be non-negative, got %d", c.EpochRelaxedCycles),
+		check(c.EpochRelaxedCycles <= c.L1HitLatency,
+			"EpochRelaxedCycles (%d) must not exceed L1HitLatency (%d): the skew bound rests on the shortest staged completion outrunning the epoch",
+			c.EpochRelaxedCycles, c.L1HitLatency),
 	}
 	for _, err := range checks {
 		if err != nil {

@@ -55,9 +55,11 @@ type cacheEntry struct {
 	err  error
 }
 
-// runKey identifies a unique simulation. IntraRunWorkers is deliberately
-// absent: the parallel engine is bit-identical to the serial one, so runs
-// that differ only in worker count share one cache slot.
+// runKey identifies a unique simulation. IntraRunWorkers, BatchCycles and
+// MemBanks are deliberately absent: the exact parallel engine is bit-identical
+// to the serial one at any worker count, batch size or bank count, so runs
+// that differ only in those share one cache slot. EpochRelaxedCycles is
+// present: relaxed mode changes results, so it must key separately.
 type runKey struct {
 	bench      string
 	scheduler  config.SchedulerKind
@@ -72,6 +74,7 @@ type runKey struct {
 	auxBO      bool
 	seed       uint64
 	scale      float64
+	relaxed    int
 }
 
 // NewRunner builds a runner over the given base configuration at full scale.
@@ -124,6 +127,7 @@ func (r *Runner) RunCfg(bench string, cfg config.Config) (*sim.Report, error) {
 		auxBO:      cfg.BlackoutAux,
 		seed:       cfg.Seed,
 		scale:      r.Scale,
+		relaxed:    cfg.EpochRelaxedCycles,
 	}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {

@@ -23,9 +23,15 @@ const pendingFill = math.MaxInt64
 type MSHR struct {
 	capacity int
 	pending  map[Line]int64 // line -> fill completion cycle
-	merges   uint64
-	allocs   uint64
-	full     uint64 // times allocation failed because the table was full
+	// minFill is a lower bound on the earliest fill cycle in the table
+	// (math.MaxInt64 when empty or all-pending). It lets ExpireBefore skip
+	// the map walk on the overwhelmingly common quiescent cycle where
+	// nothing can expire; deletions may leave it stale-low, which costs an
+	// extra walk, never a missed expiry.
+	minFill int64
+	merges  uint64
+	allocs  uint64
+	full    uint64 // times allocation failed because the table was full
 }
 
 // NewMSHR returns an MSHR table with the given number of entries.
@@ -33,7 +39,7 @@ func NewMSHR(capacity int) *MSHR {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("mem: MSHR capacity must be positive, got %d", capacity))
 	}
-	return &MSHR{capacity: capacity, pending: make(map[Line]int64, capacity)}
+	return &MSHR{capacity: capacity, pending: make(map[Line]int64, capacity), minFill: math.MaxInt64}
 }
 
 // Lookup returns the completion cycle of an outstanding miss to line, if any.
@@ -58,6 +64,9 @@ func (m *MSHR) Allocate(line Line, completeAt int64) {
 		panic("mem: MSHR overflow — caller must check HasRoom")
 	}
 	m.pending[line] = completeAt
+	if completeAt < m.minFill {
+		m.minFill = completeAt
+	}
 	m.allocs++
 }
 
@@ -80,6 +89,9 @@ func (m *MSHR) Patch(line Line, completeAt int64) {
 		panic(fmt.Sprintf("mem: MSHR double patch for line %#x", uint64(line)))
 	}
 	m.pending[line] = completeAt
+	if completeAt < m.minFill {
+		m.minFill = completeAt
+	}
 }
 
 // NoteMerge counts a secondary miss merged into an existing entry.
@@ -89,12 +101,21 @@ func (m *MSHR) NoteMerge() { m.merges++ }
 func (m *MSHR) NoteFull() { m.full++ }
 
 // ExpireBefore releases every entry whose fill returned at or before now.
+// Quiescent calls — no entry can have expired yet — are O(1) via the minFill
+// bound; the sweep recomputes the exact minimum over the survivors.
 func (m *MSHR) ExpireBefore(now int64) {
+	if now < m.minFill {
+		return
+	}
+	min := int64(math.MaxInt64)
 	for line, till := range m.pending {
 		if till <= now {
 			delete(m.pending, line)
+		} else if till < min {
+			min = till
 		}
 	}
+	m.minFill = min
 }
 
 // InFlight returns the number of outstanding lines.

@@ -155,3 +155,79 @@ func TestMSHRDoublePatchPanics(t *testing.T) {
 	}()
 	m.Patch(9, 6)
 }
+
+// TestMSHRMinFillFastPathMatchesSweep drives a randomized allocate / patch /
+// expire schedule against a shadow map, asserting the minFill fast path never
+// skips an expiry the full sweep would have performed and never leaves the
+// table differing from the oracle.
+func TestMSHRMinFillFastPathMatchesSweep(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMSHR(8)
+		shadow := map[Line]int64{}
+		now := int64(0)
+		for _, op := range ops {
+			line := Line(op % 16)
+			switch {
+			case op%3 == 0: // advance the clock and expire
+				now += int64(op % 64)
+				m.ExpireBefore(now)
+				for l, till := range shadow {
+					if till <= now {
+						delete(shadow, l)
+					}
+				}
+			case op%3 == 1: // allocate with a known fill cycle
+				if _, pending := m.Lookup(line); pending || !m.HasRoom(1) {
+					continue
+				}
+				fill := now + 1 + int64(op%128)
+				m.Allocate(line, fill)
+				shadow[line] = fill
+			default: // stage then patch, exercising the sentinel path
+				if _, pending := m.Lookup(line); pending || !m.HasRoom(1) {
+					continue
+				}
+				m.AllocatePending(line)
+				fill := now + 1 + int64(op%128)
+				m.Patch(line, fill)
+				shadow[line] = fill
+			}
+			if m.InFlight() != len(shadow) {
+				t.Logf("in-flight %d, oracle %d", m.InFlight(), len(shadow))
+				return false
+			}
+			for l, till := range shadow {
+				got, ok := m.Lookup(l)
+				if !ok || got != till {
+					t.Logf("line %d: got %d,%v want %d", l, got, ok, till)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMSHRQuiescentExpireKeepsPendingEntry pins the fast path against the
+// sentinel: a table holding only staged (unpatched) entries must treat every
+// ExpireBefore as quiescent, no matter how far the clock advances.
+func TestMSHRQuiescentExpireKeepsPendingEntry(t *testing.T) {
+	m := NewMSHR(2)
+	m.AllocatePending(3)
+	m.ExpireBefore(1 << 60)
+	if m.InFlight() != 1 {
+		t.Fatal("unpatched entry expired")
+	}
+	m.Patch(3, 100)
+	m.ExpireBefore(99)
+	if m.InFlight() != 1 {
+		t.Fatal("entry expired before its fill cycle")
+	}
+	m.ExpireBefore(100)
+	if m.InFlight() != 0 {
+		t.Fatal("entry survived its fill cycle")
+	}
+}

@@ -192,10 +192,10 @@ func TestStageResolveMatchesInlineAccess(t *testing.T) {
 		want = append(want, inline.GlobalAccess(0, lines))
 	}
 	for _, lines := range accesses {
-		staged.StageGlobal(lines)
+		staged.StageGlobal(0, lines)
 	}
 	var got []Result
-	staged.ResolveStaged(0, func(i int, res Result) {
+	staged.ResolveStaged(func(i int, res Result) {
 		if i != len(got) {
 			t.Fatalf("resolve order: got index %d, want %d", i, len(got))
 		}
@@ -219,7 +219,7 @@ func TestStageResolveMatchesInlineAccess(t *testing.T) {
 func TestGlobalAccessPanicsWithStagedBacklog(t *testing.T) {
 	cfg := testCfg()
 	p := NewSMPort(cfg, NewGPUMem(cfg))
-	p.StageGlobal([]Line{4})
+	p.StageGlobal(0, []Line{4})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("GlobalAccess with a staged backlog did not panic")

@@ -40,10 +40,13 @@ func NewGPU(cfg config.Config, k *kernels.Kernel) (*GPU, error) {
 
 // Run executes the workload to completion (or cfg.MaxCycles) and returns the
 // final report. With cfg.IntraRunWorkers > 1 the phase-split parallel engine
-// (runParallel) steps the SM array on several goroutines; its results are
-// bit-identical to the serial loop below.
+// (runParallel) steps the SM array on several goroutines; in exact mode its
+// results are bit-identical to the serial loop below. Relaxed mode
+// (cfg.EpochRelaxedCycles > 0) always uses the windowed engine — even with
+// one worker — because its windows, not the worker count, define the result:
+// any worker count then reproduces the same relaxed run byte for byte.
 func (g *GPU) Run() *Report {
-	if w := g.workerCount(); w > 1 {
+	if w := g.workerCount(); w > 1 || g.cfg.EpochRelaxedCycles > 0 {
 		return g.runParallel(w)
 	}
 	// Completion is event-driven rather than scanned: an SM flips its drained
@@ -87,6 +90,13 @@ func (g *GPU) Run() *Report {
 			g.cycle++
 		} else {
 			g.cycle = next
+		}
+		// Clamp the jump: an idle fast-forward target past the cap must not
+		// leave a RanOut report claiming more cycles than MaxCycles allows
+		// (sm.step clamps its own targets, but the cap is a report-level
+		// invariant, so it is enforced where the clock is written).
+		if maxCycles > 0 && g.cycle > maxCycles {
+			g.cycle = maxCycles
 		}
 	}
 	for _, sm := range g.sms {

@@ -1,70 +1,123 @@
 package sim
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"warpedgates/internal/mem"
 )
 
 // The parallel engine: the SM array is stepped by several worker goroutines
 // while every observable stays bit-identical to the serial loop in GPU.Run.
 //
-// Each device cycle splits into two phases. In the compute phase, workers
-// step disjoint contiguous SM shards for the same cycle; sm.step touches only
-// SM-private state (warp tables, pipes, gating controllers, L1, MSHR) and
-// *stages* global-memory requests on its port instead of calling the shared
-// L2/DRAM inline (sm.memStage). In the arbitration phase — the serial section
-// run by the last worker to reach the barrier — staged requests drain to the
-// shared device in ascending SM-id order, which is exactly the order the
-// serial loop's in-line accesses produce, so L2 contents, DRAM channel
-// queueing and every timing result match the serial engine bit for bit. The
-// arbitration phase then advances the device clock to the minimum next-wake
-// across shards (composing with the idle fast-forward, as the serial loop
-// does) and decides termination.
+// The engine alternates two kinds of phases, separated by a sense-reversing
+// barrier whose last arriver runs a short coordinator section (advance).
 //
-// The determinism argument rests on three properties of sm.step:
-//   - it reads and writes nothing outside its SM once memory is staged, so
-//     compute-phase interleaving is irrelevant;
-//   - its return value never depends on memory resolution: a normal cycle
-//     returns now+1 unconditionally, and the fast-forward paths require
-//     readyMask == 0, which precludes issuing (and therefore staging)
-//     anything that cycle;
-//   - everything resolution patches (MSHR fill cycles, retire-ring events)
-//     is only read by the *next* step, which runs after the barrier.
+// Compute phase. Workers step disjoint contiguous SM shards. Each SM runs at
+// its own position pos[i] through a window of up to winEnd: sm.step touches
+// only SM-private state (warp tables, pipes, gating controllers, L1, MSHR)
+// and *stages* global-memory requests on its port (sm.memStage) instead of
+// calling the shared L2/DRAM inline. A staging cycle whose lines all hit the
+// L1 or merge with the SM's own outstanding fills touches nothing shared, so
+// the worker finishes it locally and keeps stepping; a cycle that needs the
+// device parks the SM (pendingAt[i]) until an arbitration phase replays its
+// ops. Stepping SMs at their own positions rather than a global clock is
+// exact because a serial step below an SM's fast-forward horizon is a no-op:
+// the serial clock only ever lands on some SM's wake cycle, and cycles where
+// only *other* SMs wake are invisible to this one.
 //
-// One atomic synchronization point per device cycle: an arrival counter plus
-// an epoch word form a sense-reversing barrier. Workers spin briefly on the
-// epoch and then yield, so the engine degrades gracefully when goroutines
-// outnumber cores.
+// Arbitration phase. Staged device ops must hit the shared L2/DRAM in the
+// serial engine's order: ascending (cycle, SM id, staging index). Two
+// mechanisms provide it without a serial section. First, ordering: an op
+// staged at cycle c is resolvable only once every live unparked SM has
+// advanced past c (c < frontier) — nothing can stage at ≤ c anymore — and
+// the resolvable set is sorted by (cycle, SM id). The earliest parked op is
+// always resolvable, so the engine cannot stall. Second, bank sharding: the
+// device state is partitioned by address bank (mem.GPUMem), lines of
+// different banks share no cache set, channel or counter, so the per-bank
+// projections of the canonical order are independent and each worker drains
+// the banks of its own bank range concurrently. The parked SMs' deferred
+// writebacks are then booked by their owning workers (finishMemory) at the
+// start of the next compute phase.
+//
+// The determinism argument rests on the same three properties of sm.step as
+// before — it touches nothing outside its SM once memory is staged, its
+// return value never depends on memory resolution, and everything resolution
+// patches is only read by a later step — plus the bank partition's exactness
+// (see mem.GPUMem) and the frontier ordering rule above.
+//
+// Relaxed mode (cfg.EpochRelaxedCycles = R > 0) trades exactness for fewer
+// barriers: SMs do not park on device staging but run freely through a
+// window of R cycles, and every window ends with one arbitration phase that
+// drains all staged ops in (SM id, staging index) order, each op at its own
+// staging cycle. Device access *interleaving across SMs* within a window can
+// therefore differ from serial by at most R cycles — the quantified error
+// bound — while each SM's own stream stays internally exact. Windows are cut
+// at deterministic cycles (frontier + R), so relaxed runs are reproducible
+// and independent of worker count; R ≤ L1HitLatency (config.Validate)
+// guarantees every staged access completes at or after its window's end, so
+// deferred writebacks are always booked ahead of the retire-ring scan.
 
 // spinYield is how many barrier polls a worker burns before yielding the
 // processor. Small enough to stay polite on oversubscribed machines, large
-// enough to catch the common case where the serial section is a few hundred
-// nanoseconds.
+// enough to catch the common case where the coordinator section is a few
+// hundred nanoseconds.
 const spinYield = 64
 
-// shardResult is one worker's per-phase contribution, padded to a cache line
-// so workers never write-share.
+// parOp is the phase the workers run next, written by the coordinator.
+type parOp int32
+
+const (
+	opCompute parOp = iota // step SM shards through the window
+	opResolve              // drain resolveList's staged ops, bank-sharded
+	opExit                 // run over; workers return
+)
+
+// shardResult is one worker's per-compute-phase contribution, padded to a
+// cache line so workers never write-share: how many of its SMs drained, the
+// latest cycle one drained at, and whether any parked on a staged device
+// access (the flag that tells the coordinator an arbitration phase is due).
 type shardResult struct {
-	wake    int64 // min wake among the shard's still-live SMs, -1 if none
-	drained int64 // SMs of the shard that drained this phase
-	_       [48]byte
+	drained  int64
+	maxDrain int64
+	staged   bool
+	_        [47]byte
 }
 
-// parRun is the shared state of one parallel run. live, done, g.cycle and
-// g.ranOut are owned by the serial section; workers read them only after
-// observing the epoch advance that the serial section precedes.
+// parRun is the shared state of one parallel run. The scalar fields and
+// resolveList are owned by the coordinator section; workers read them only
+// after observing the epoch advance that the coordinator precedes. pos,
+// pendingAt and needFinal slots are handed back and forth between an SM's
+// owning worker and the coordinator across the same barrier.
 type parRun struct {
 	g         *GPU
 	workers   int32
 	maxCycles int64
+	batch     int64 // exact-mode window length (cfg.EffectiveBatchCycles)
+	relax     int64 // relaxed-mode window length, 0 = exact
+	nBanks    int
 	shards    []shardResult
 
 	arrived atomic.Int32
 	epoch   atomic.Uint32
 
-	live int
-	done bool
+	op     parOp
+	winEnd int64 // first cycle past the current compute window
+
+	pos       []int64 // per SM: next cycle to step
+	pendingAt []int64 // per SM: cycle of its parked staged ops, -1 = none
+	needFinal []bool  // per SM: resolved ops await finishMemory
+	resolve   []int32 // SM ids to drain this arbitration phase, canonical order
+
+	// resolvePorts mirrors resolve as memory ports (same order); it is the
+	// merge input for the bank phase, built by the coordinator when it
+	// schedules opResolve.
+	resolvePorts []*mem.SMPort
+
+	live     int
+	maxDrain int64
 }
 
 // runParallel is the parallel counterpart of the serial loop in Run.
@@ -77,14 +130,34 @@ func (g *GPU) runParallel(workers int) *Report {
 			live++
 		}
 		sm.memStage = true
+		sm.memPort.SetBankStaging(true)
 	}
 	if live > 0 {
 		pr := &parRun{
 			g:         g,
 			workers:   int32(workers),
 			maxCycles: int64(g.cfg.MaxCycles),
+			batch:     int64(g.cfg.EffectiveBatchCycles()),
+			relax:     int64(g.cfg.EpochRelaxedCycles),
+			nBanks:    g.gmem.NumBanks(),
 			shards:    make([]shardResult, workers),
+			pos:       make([]int64, len(g.sms)),
+			pendingAt: make([]int64, len(g.sms)),
+			needFinal: make([]bool, len(g.sms)),
 			live:      live,
+			maxDrain:  -1,
+		}
+		win := pr.batch
+		if pr.relax > 0 {
+			win = pr.relax
+		}
+		for i := range g.sms {
+			pr.pos[i] = g.cycle
+			pr.pendingAt[i] = -1
+		}
+		pr.winEnd = g.cycle + win
+		if pr.maxCycles > 0 && pr.winEnd > pr.maxCycles {
+			pr.winEnd = pr.maxCycles
 		}
 		var wg sync.WaitGroup
 		for w := 1; w < workers; w++ {
@@ -100,40 +173,30 @@ func (g *GPU) runParallel(workers int) *Report {
 	for _, sm := range g.sms {
 		sm.finish()
 		sm.memStage = false
+		sm.memPort.SetBankStaging(false)
+		sm.stagedRet = sm.stagedRet[:0]
 	}
 	return g.report()
 }
 
-// worker steps the contiguous SM shard [w*n/W, (w+1)*n/W) once per device
-// cycle; the last worker to arrive at the barrier runs the serial arbitration
-// phase and releases the others by advancing the epoch.
+// worker owns the contiguous SM shard [w*n/W, (w+1)*n/W) and the bank range
+// [w*B/W, (w+1)*B/W), running whichever phase the coordinator scheduled; the
+// last worker to arrive at the barrier runs the coordinator section and
+// releases the others by advancing the epoch.
 func (pr *parRun) worker(w int) {
-	g := pr.g
-	n := len(g.sms)
-	lo := w * n / int(pr.workers)
-	hi := (w + 1) * n / int(pr.workers)
+	n := len(pr.g.sms)
+	lo, hi := w*n/int(pr.workers), (w+1)*n/int(pr.workers)
+	bankLo, bankHi := w*pr.nBanks/int(pr.workers), (w+1)*pr.nBanks/int(pr.workers)
+	cur := make([]int32, n) // bank-merge cursors, one slot per possible port
 	sentinel := pr.epoch.Load()
 	for {
-		cycle := g.cycle
-		wake, drained := int64(-1), int64(0)
-		for i := lo; i < hi; i++ {
-			sm := g.sms[i]
-			if sm.drained {
-				continue
-			}
-			wk := sm.step(cycle)
-			if sm.drained {
-				drained++
-				continue
-			}
-			if wake < 0 || wk < wake {
-				wake = wk
-			}
+		if pr.op == opCompute {
+			pr.compute(w, lo, hi)
+		} else {
+			pr.resolveBanks(bankLo, bankHi, cur)
 		}
-		s := &pr.shards[w]
-		s.wake, s.drained = wake, drained
 		if pr.arrived.Add(1) == pr.workers {
-			pr.serial(cycle)
+			pr.advance()
 			pr.arrived.Store(0)
 			pr.epoch.Add(1)
 		} else {
@@ -144,44 +207,206 @@ func (pr *parRun) worker(w int) {
 			}
 		}
 		sentinel++
-		if pr.done {
+		if pr.op == opExit {
 			return
 		}
 	}
 }
 
-// serial is the arbitration phase, run with every worker parked at the
-// barrier: staged memory requests drain to the shared device in ascending
-// SM-id order, the clock advances to the minimum wake across shards, and
-// termination is decided with the same semantics as the serial loop (a run
-// whose last SM drains is complete even if the next cycle would cross
-// MaxCycles; a run that crosses it with work left sets ranOut).
-func (pr *parRun) serial(cycle int64) {
+// compute steps the worker's SMs through the current window. Each SM first
+// books writebacks left from the previous arbitration phase (finishMemory),
+// then steps from its own position until the window ends, it drains, or — in
+// exact mode — it stages a device access and parks. Pure-L1 staging cycles
+// are finished inline: they read nothing shared, and the merge fills they
+// look up cannot be unpatched sentinels because the SM parks (exact) or the
+// window drains (relaxed) before any unresolved device op could linger.
+func (pr *parRun) compute(w, lo, hi int) {
 	g := pr.g
-	for _, sm := range g.sms {
-		sm.resolveMemory(cycle)
+	end := pr.winEnd
+	relax := pr.relax > 0
+	var drained int64
+	maxDrain := int64(-1)
+	anyStaged := false
+	for i := lo; i < hi; i++ {
+		sm := g.sms[i]
+		if pr.needFinal[i] {
+			pr.needFinal[i] = false
+			sm.finishMemory()
+		}
+		if sm.drained || pr.pendingAt[i] >= 0 {
+			continue
+		}
+		c := pr.pos[i]
+		for c < end {
+			stepped := c
+			c = sm.step(stepped)
+			if len(sm.stagedRet) > 0 && !sm.memPort.HasStagedDevice() {
+				sm.finishMemory()
+			}
+			parked := !relax && sm.memPort.HasStagedDevice()
+			if parked {
+				pr.pendingAt[i] = stepped
+				anyStaged = true
+			}
+			if sm.drained {
+				drained++
+				if stepped > maxDrain {
+					maxDrain = stepped
+				}
+				break
+			}
+			if parked {
+				break
+			}
+		}
+		if relax && sm.memPort.HasStagedDevice() {
+			pr.pendingAt[i] = sm.stagedRet[0].at
+			anyStaged = true
+		}
+		pr.pos[i] = c
 	}
-	next := int64(-1)
-	for i := range pr.shards {
-		s := &pr.shards[i]
-		pr.live -= int(s.drained)
-		if s.wake >= 0 && (next < 0 || s.wake < next) {
-			next = s.wake
+	s := &pr.shards[w]
+	s.drained, s.maxDrain, s.staged = drained, maxDrain, anyStaged
+}
+
+// resolveBanks drains the scheduled SMs' staged device ops for the worker's
+// bank range. Within each bank, the ports' cycle-sorted op lists are merged
+// so ops replay in ascending (staging cycle, SM id, staging index) — exactly
+// the per-bank projection of the serial engine's device access order. (In
+// exact mode every scheduled op shares one cycle, pmin; in relaxed mode the
+// window's ops span up to R cycles and the merge is what keeps DRAM queue
+// accounting in cycle order.) Banks share no state, so workers proceed
+// without synchronization; per-op outcomes land in each port's own buffers
+// at disjoint indices. cur is the worker's merge-cursor scratch.
+func (pr *parRun) resolveBanks(bankLo, bankHi int, cur []int32) {
+	for b := bankLo; b < bankHi; b++ {
+		mem.ResolveBankOrdered(pr.resolvePorts, b, cur)
+	}
+}
+
+// advance is the coordinator section, run once per barrier with every worker
+// parked: fold the phase's results, schedule resolvable staged ops, decide
+// termination, or open the next compute window.
+func (pr *parRun) advance() {
+	g := pr.g
+	if pr.op == opResolve {
+		// The bank phase covered every scheduled SM's device ops; their
+		// owning workers book the writebacks next compute phase.
+		for _, idx := range pr.resolve {
+			pr.pendingAt[idx] = -1
+			pr.needFinal[idx] = true
+		}
+		pr.resolve = pr.resolve[:0]
+		pr.resolvePorts = pr.resolvePorts[:0]
+	} else {
+		for i := range pr.shards {
+			s := &pr.shards[i]
+			pr.live -= int(s.drained)
+			if s.maxDrain > pr.maxDrain {
+				pr.maxDrain = s.maxDrain
+			}
+			s.drained, s.maxDrain = 0, -1
 		}
 	}
-	if next < 0 {
-		// The last live SM drained this cycle; account the cycle as the
-		// serial loop does before exiting.
-		g.cycle++
-	} else {
-		g.cycle = next
-	}
-	if pr.live <= 0 {
-		pr.done = true
+	for {
+		// frontier is the earliest cycle any unparked live SM will step
+		// next; pmin is the earliest parked staging cycle. Parked SMs are
+		// excluded from the frontier (they stage nothing until resolved), as
+		// are drained ones — if only parked SMs remain it is unbounded.
+		frontier := int64(math.MaxInt64)
+		pmin := int64(math.MaxInt64)
+		pendingN := 0
+		for i, sm := range g.sms {
+			if at := pr.pendingAt[i]; at >= 0 {
+				pendingN++
+				if at < pmin {
+					pmin = at
+				}
+				continue
+			}
+			if sm.drained {
+				continue
+			}
+			if pr.pos[i] < frontier {
+				frontier = pr.pos[i]
+			}
+		}
+		if pendingN > 0 {
+			// Exact mode drains only the ops at the earliest parked cycle:
+			// no unparked SM can stage at or before it (frontier), and every
+			// other parked SM resumes after its own later cycle — whereas a
+			// later-cycle op is not safe yet, because the SM parked at pmin
+			// resumes at pmin+1 and may stage again in between. Relaxed mode
+			// drains everything: windows end with no carry-over, and the
+			// bounded reordering is the mode's contract.
+			if pr.relax > 0 {
+				for i := range g.sms {
+					if pr.pendingAt[i] >= 0 {
+						pr.resolve = append(pr.resolve, int32(i))
+					}
+				}
+			} else if pmin < frontier {
+				for i := range g.sms {
+					if pr.pendingAt[i] == pmin {
+						pr.resolve = append(pr.resolve, int32(i))
+					}
+				}
+			}
+			if len(pr.resolve) == 1 && pr.relax == 0 {
+				// One parked SM: a bank phase would spend a barrier round to
+				// parallelize work one goroutine can do here in place.
+				idx := pr.resolve[0]
+				g.sms[idx].resolveMemoryInline()
+				pr.pendingAt[idx] = -1
+				pr.resolve = pr.resolve[:0]
+				continue // its ops may unblock the next parked cycle
+			}
+			if len(pr.resolve) > 0 {
+				for _, idx := range pr.resolve {
+					pr.resolvePorts = append(pr.resolvePorts, g.sms[idx].memPort)
+				}
+				pr.op = opResolve
+				return
+			}
+		}
+		// No resolvable ops and none parked below the frontier: termination
+		// has the serial loop's semantics. A run whose last SM drains is
+		// complete even if the next cycle would cross MaxCycles; a run whose
+		// every SM sits at or past the cap with work left ran out, its clock
+		// clamped to the cap (the MaxCycles-overshoot rule).
+		if pr.live == 0 && pendingN == 0 {
+			g.cycle = pr.maxDrain + 1
+			if pr.maxCycles > 0 && g.cycle > pr.maxCycles {
+				g.cycle = pr.maxCycles
+			}
+			pr.op = opExit
+			return
+		}
+		if pr.maxCycles > 0 && frontier >= pr.maxCycles && pendingN == 0 {
+			g.cycle = pr.maxCycles
+			g.ranOut = true
+			pr.op = opExit
+			return
+		}
+		g.cycle = frontier
+		win := pr.batch
+		if pr.relax > 0 {
+			win = pr.relax
+		}
+		end := frontier + win
+		if pendingN > 0 && pmin+1 < end {
+			// An SM is still parked beyond the frontier: its ops unblock the
+			// moment every other SM passes its cycle, so stop the window
+			// right there instead of letting the leaders run a full batch
+			// while it idles. (pmin >= frontier here — anything earlier was
+			// resolved above — so the window still advances.)
+			end = pmin + 1
+		}
+		if pr.maxCycles > 0 && end > pr.maxCycles {
+			end = pr.maxCycles
+		}
+		pr.winEnd = end
+		pr.op = opCompute
 		return
-	}
-	if pr.maxCycles > 0 && g.cycle >= pr.maxCycles {
-		g.ranOut = true
-		pr.done = true
 	}
 }

@@ -34,10 +34,13 @@ type retireEvent struct {
 
 // stagedRetire is the SM-side record of one staged global access: the warp
 // whose load writeback must be booked once the arbitration phase computes the
-// access's completion cycle. Stores stage too (they occupy MSHR entries and
-// reach the device) but have no destination, so their dstMask is zero.
+// access's completion cycle, and the cycle the access was issued (under
+// batched epochs one resolve may cover accesses staged at different cycles).
+// Stores stage too (they occupy MSHR entries and reach the device) but have
+// no destination, so their dstMask is zero.
 type stagedRetire struct {
 	w       *Warp
+	at      int64
 	dstMask uint64
 }
 
@@ -145,10 +148,11 @@ type SM struct {
 	memBlocked bool
 
 	// memStage, set by the parallel engine, makes issueMemory stage global
-	// accesses on the port instead of resolving them inline; resolveMemory
-	// then applies them to the shared device during the serial arbitration
-	// phase and books the deferred load writebacks. stagedRet records one
-	// entry per staged access, in staging order (dstMask 0 for stores).
+	// accesses on the port instead of resolving them inline; once the
+	// arbitration phase has drained the staged device ops (or there were
+	// none), finishMemory books the deferred load writebacks. stagedRet
+	// records one entry per staged access, in staging order (dstMask 0 for
+	// stores).
 	memStage  bool
 	stagedRet []stagedRetire
 
@@ -746,8 +750,8 @@ func (sm *SM) issueMemory(now int64, w *Warp, in *isa.Instr) bool {
 		dstMask = 1 << uint(in.Dst)
 	}
 	if sm.memStage {
-		sm.memPort.StageGlobal(lines)
-		sm.stagedRet = append(sm.stagedRet, stagedRetire{w: w, dstMask: dstMask})
+		sm.memPort.StageGlobal(now, lines)
+		sm.stagedRet = append(sm.stagedRet, stagedRetire{w: w, at: now, dstMask: dstMask})
 		w.memCounter++
 		w.memLinesValid = false
 		sm.commitIssue(now, w, in, p, ii, latency)
@@ -761,19 +765,36 @@ func (sm *SM) issueMemory(now int64, w *Warp, in *isa.Instr) bool {
 	return true
 }
 
-// resolveMemory is the SM's share of the arbitration phase: it drains the
-// cycle's staged global accesses to the shared device (in staging order —
-// ascending SM id across SMs is the caller's responsibility) and books the
-// deferred load writebacks. Deferring scheduleRetire past the end of step is
-// invisible: the retire ring is only read by the next step's writeback and
-// fast-forward scan, both of which run after this phase.
-func (sm *SM) resolveMemory(now int64) {
+// finishMemory completes the SM's staged global accesses: it assembles each
+// access's timing (from the bank-phase outcomes when the arbitration phase
+// ran, or directly when no access needed the shared device) and books the
+// deferred load writebacks. It touches only SM-private state, so the worker
+// that owns the SM calls it without synchronization. Deferring scheduleRetire
+// past the end of step is invisible: the retire ring is only read by a later
+// step's writeback and fast-forward scan, both of which run afterwards.
+func (sm *SM) finishMemory() {
 	if len(sm.stagedRet) == 0 {
 		return
 	}
-	sm.memPort.ResolveStaged(now, func(i int, res mem.Result) {
+	sm.memPort.FinishStaged(func(i int, res mem.Result) {
 		r := sm.stagedRet[i]
-		sm.scheduleRetire(now, res.CompleteAt, r.w, r.dstMask)
+		sm.scheduleRetire(r.at, res.CompleteAt, r.w, r.dstMask)
+	})
+	sm.stagedRet = sm.stagedRet[:0]
+}
+
+// resolveMemoryInline drains the SM's staged accesses straight to the shared
+// device and books the writebacks, all in one call — the coordinator uses it
+// when a single SM parked, where a bank-sharded phase would cost a barrier
+// round to parallelize work one worker can do in place. Only safe while every
+// worker is parked at the barrier.
+func (sm *SM) resolveMemoryInline() {
+	if len(sm.stagedRet) == 0 {
+		return
+	}
+	sm.memPort.ResolveStaged(func(i int, res mem.Result) {
+		r := sm.stagedRet[i]
+		sm.scheduleRetire(r.at, res.CompleteAt, r.w, r.dstMask)
 	})
 	sm.stagedRet = sm.stagedRet[:0]
 }
