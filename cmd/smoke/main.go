@@ -18,6 +18,7 @@ import (
 	"warpedgates/internal/isa"
 	"warpedgates/internal/kernels"
 	"warpedgates/internal/power"
+	"warpedgates/internal/store"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	workers := flag.Int("workers", 1,
 		"goroutines stepping SMs inside each simulation (1 = serial engine; identical results at any value)")
 	perBench := flag.Bool("bench", false, "print per-benchmark rows")
+	storeDir := flag.String("store", "", "durable report store directory (reports persist across processes; empty = disabled)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -56,6 +58,12 @@ func main() {
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		die(err)
+		r.Store = s
+		defer func() { fmt.Fprintf(os.Stderr, "store %s: %s\n", s.Dir(), s.Health()) }()
+	}
 	model := power.Default(cfg.BreakEven)
 
 	techs := core.GatedTechniques()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -12,7 +13,13 @@ import (
 	"warpedgates/internal/core"
 	"warpedgates/internal/kernels"
 	"warpedgates/internal/sim"
+	"warpedgates/internal/store"
 )
+
+// errFloorSkipped marks a -floor gate that could not run because the host
+// cannot schedule two workers in parallel. main maps it to exit code 3 so CI
+// can tell "gate passed" (0) from "gate could not be measured" (3).
+var errFloorSkipped = errors.New("bench: floor gate skipped")
 
 // benchCell is one benchmark × technique measurement.
 type benchCell struct {
@@ -83,7 +90,8 @@ func cmdBench(args []string) error {
 	scale := fs.Float64("scale", 0.25, "workload scale factor")
 	workers := addWorkersFlag(fs)
 	out := fs.String("out", "BENCH_sim.json", "output JSON path")
-	floor := fs.Float64("floor", 0, "minimum intra-run speedup at 2 workers; exit nonzero below it (0 disables; skipped with a warning on single-core hosts)")
+	floor := fs.Float64("floor", 0, "minimum intra-run speedup at 2 workers; exit nonzero below it (0 disables; exit 3 on single-core hosts that cannot measure it)")
+	storeDir := addStoreFlag(fs)
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +100,15 @@ func cmdBench(args []string) error {
 		return err
 	}
 	defer prof.stop()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+		defer reportStoreHealth(st)
+	}
 
 	base := config.GTX480()
 	base.NumSMs = *sms
@@ -102,7 +119,7 @@ func cmdBench(args []string) error {
 	rep.Scale = *scale
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
-	runCell := func(bench string, tech core.Technique, disableFF bool) (benchCell, error) {
+	runCell := func(bench string, tech core.Technique, disableFF bool) (benchCell, *sim.Report, config.Config, error) {
 		cfg := tech.Apply(base)
 		cfg.DisableFastForward = disableFF
 		k := kernels.MustBenchmark(bench).Scale(*scale)
@@ -112,7 +129,7 @@ func cmdBench(args []string) error {
 		t0 := time.Now()
 		gpu, err := sim.NewGPU(cfg, k)
 		if err != nil {
-			return benchCell{}, err
+			return benchCell{}, nil, cfg, err
 		}
 		r := gpu.Run()
 		wall := time.Since(t0)
@@ -127,7 +144,25 @@ func cmdBench(args []string) error {
 			cell.NsPerCycle = float64(wall.Nanoseconds()) / float64(r.Cycles)
 			cell.AllocsPerCycle = float64(m1.Mallocs-m0.Mallocs) / float64(r.Cycles)
 		}
-		return cell, nil
+		return cell, r, cfg, nil
+	}
+
+	// commitCell persists a finished report to the durable store, after the
+	// timing window closes so store I/O never pollutes a measurement. Bench
+	// runs every cell for real either way; with -store, that effort also warms
+	// the same cache later run/figure/verify invocations hit.
+	commitCell := func(bench string, cfg config.Config, r *sim.Report) {
+		if st == nil {
+			return
+		}
+		payload, err := sim.EncodeReport(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: store encode %s: %v\n", bench, err)
+			return
+		}
+		if err := st.Put(core.JobKey(bench, cfg, *scale), payload); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: store put %s: %v\n", bench, err)
+		}
 	}
 
 	techs := core.AllTechniques()
@@ -135,17 +170,18 @@ func cmdBench(args []string) error {
 		len(kernels.BenchmarkNames), len(techs), *sms, *scale)
 	for _, bench := range kernels.BenchmarkNames {
 		for _, tech := range techs {
-			cell, err := runCell(bench, tech, false)
+			cell, r, cfg, err := runCell(bench, tech, false)
 			if err != nil {
 				return err
 			}
+			commitCell(bench, cfg, r)
 			rep.Cells = append(rep.Cells, cell)
 			rep.Totals.FastForwardMS += cell.WallMS
 		}
 	}
 	for _, bench := range kernels.BenchmarkNames {
 		for _, tech := range techs {
-			cell, err := runCell(bench, tech, true)
+			cell, _, _, err := runCell(bench, tech, true)
 			if err != nil {
 				return err
 			}
@@ -240,8 +276,10 @@ func cmdBench(args []string) error {
 // checkScalingFloor enforces the -floor gate: the 2-worker point of the
 // intra-run scaling curve must reach the given speedup. On a host where the
 // runtime cannot schedule two workers in parallel the curve measures only
-// barrier overhead, so the gate warns and passes rather than fail on a
-// machine that cannot exhibit scaling at all.
+// barrier overhead, so the gate logs the skip reason to stderr and returns an
+// error wrapping errFloorSkipped — exit code 3, distinct from both a pass (0)
+// and a real failure (1) — rather than fail on a machine that cannot exhibit
+// scaling at all.
 func checkScalingFloor(rep *benchReport, floor float64) error {
 	if floor <= 0 {
 		return nil
@@ -249,7 +287,7 @@ func checkScalingFloor(rep *benchReport, floor float64) error {
 	if rep.GOMAXPROCS < 2 {
 		fmt.Fprintf(os.Stderr, "bench: -floor %.2f skipped — GOMAXPROCS=%d cannot run workers in parallel\n",
 			floor, rep.GOMAXPROCS)
-		return nil
+		return fmt.Errorf("%w: GOMAXPROCS=%d < 2, cannot measure parallel scaling", errFloorSkipped, rep.GOMAXPROCS)
 	}
 	for _, pt := range rep.IntraRunScaling {
 		if pt.Workers != 2 {

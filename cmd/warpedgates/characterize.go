@@ -21,6 +21,7 @@ func cmdCharacterize(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	workers := addWorkersFlag(fs)
+	storeDir := addStoreFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -30,6 +31,11 @@ func cmdCharacterize(args []string) error {
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs
+	st, err := attachStore(r, *storeDir)
+	if err != nil {
+		return err
+	}
+	defer reportStoreHealth(st)
 
 	reps, err := r.RunAllParallel(core.Baseline)
 	if err != nil {

@@ -20,6 +20,7 @@ func cmdCompare(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	workers := addWorkersFlag(fs)
+	storeDir := addStoreFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -29,6 +30,11 @@ func cmdCompare(args []string) error {
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs
+	st, err := attachStore(r, *storeDir)
+	if err != nil {
+		return err
+	}
+	defer reportStoreHealth(st)
 
 	fig9a, err := core.RunFig9(r, isa.INT)
 	if err != nil {

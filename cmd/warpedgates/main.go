@@ -34,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -74,6 +75,8 @@ func main() {
 		err = cmdCharacterize(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -83,6 +86,12 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "warpedgates: %v\n", err)
+		// The bench floor gate's self-skip exits on its own code so automation
+		// can tell "measured and passed" (0) from "host cannot measure" (3)
+		// from a real failure (1).
+		if errors.Is(err, errFloorSkipped) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -90,23 +99,31 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   warpedgates list
-  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F] [-j N] [-workers N]
-  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-workers N] [-csv DIR] [-v]
+  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F] [-j N] [-workers N] [-store DIR]
+  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-workers N] [-csv DIR] [-store DIR] [-v]
   warpedgates trace -bench <name> -tech <technique> [-from C] [-cycles N]
-  warpedgates verify [-sms N] [-scale F] [-j N] [-workers N] [-bench <name>] [-tech <technique>] [-v]
-  warpedgates bench [-sms N] [-scale F] [-workers N] [-out BENCH_sim.json]
+  warpedgates verify [-sms N] [-scale F] [-j N] [-workers N] [-bench <name>] [-tech <technique>] [-store DIR] [-v]
+  warpedgates bench [-sms N] [-scale F] [-workers N] [-out BENCH_sim.json] [-store DIR]
   warpedgates benchcmp OLD.json NEW.json
-  warpedgates characterize [-sms N] [-scale F] [-j N] [-workers N]
-  warpedgates compare [-sms N] [-scale F] [-j N] [-workers N]
+  warpedgates characterize [-sms N] [-scale F] [-j N] [-workers N] [-store DIR]
+  warpedgates compare [-sms N] [-scale F] [-j N] [-workers N] [-store DIR]
+  warpedgates store verify -store DIR
 
 -j bounds the simulation worker pool (0, the default, uses every core);
 figure regeneration is deterministic at any -j. -workers sets how many
 goroutines step SMs inside each simulation (default 1, or the
 WARPEDGATES_WORKERS environment variable; results are bit-identical at any
 value — the runner shrinks its -j budget so jobs x workers stays within -j).
+-store DIR persists every report in a crash-safe checksummed on-disk store;
+later runs at any -j/-workers serve byte-identical results from it without
+simulating. `+"`store verify`"+` scrubs a store (checksums every entry,
+quarantines damage, sweeps crash debris) and exits non-zero on corruption.
 trace stays on the serial engine: it renders a globally ordered event stream.
 run, figure, verify and bench also accept -cpuprofile FILE and
--memprofile FILE for pprof output.`)
+-memprofile FILE for pprof output.
+
+exit codes: 0 success; 1 error; 2 usage; 3 bench -floor gate skipped
+(single-core host cannot measure parallel scaling).`)
 }
 
 // addWorkersFlag registers the shared -workers flag. Its default comes from
@@ -158,6 +175,7 @@ func cmdRun(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	workers := addWorkersFlag(fs)
+	storeDir := addStoreFlag(fs)
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,6 +194,11 @@ func cmdRun(args []string) error {
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs
+	st, err := attachStore(r, *storeDir)
+	if err != nil {
+		return err
+	}
+	defer reportStoreHealth(st)
 
 	rep, err := r.Run(*bench, t)
 	if err != nil {
@@ -205,6 +228,7 @@ func cmdFigure(args []string) error {
 	workers := addWorkersFlag(fs)
 	verbose := fs.Bool("v", false, "print progress")
 	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
+	storeDir := addStoreFlag(fs)
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -224,6 +248,11 @@ func cmdFigure(args []string) error {
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs
+	st, err := attachStore(r, *storeDir)
+	if err != nil {
+		return err
+	}
+	defer reportStoreHealth(st)
 	if *verbose {
 		r.Progress = func(b string, c config.Config) {
 			fmt.Fprintf(os.Stderr, "  simulating %s under %s/%s (idle=%d bet=%d wake=%d adaptive=%v)\n",

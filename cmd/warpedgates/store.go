@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"warpedgates/internal/core"
+	"warpedgates/internal/store"
+)
+
+// addStoreFlag registers the shared -store flag: a directory holding the
+// durable report store. Every subcommand that runs simulations accepts it;
+// reports then persist across processes, and cached results are byte-
+// identical to fresh simulation (the golden corpus pins this).
+func addStoreFlag(fs *flag.FlagSet) *string {
+	return fs.String("store", "",
+		"durable report store directory (reports persist across processes; empty = disabled)")
+}
+
+// attachStore opens the report store at dir — when one was requested — and
+// attaches it to the runner as the durable cache tier.
+func attachStore(r *core.Runner, dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	r.Store = s
+	return s, nil
+}
+
+// reportStoreHealth prints the store's counters to stderr after a run, so
+// operators see hit rates and — critically — write errors and quarantines,
+// which never fail runs but do mean the durable tier is degraded.
+func reportStoreHealth(s *store.Store) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "store %s: %s\n", s.Dir(), s.Health())
+}
+
+// cmdStore dispatches the store maintenance subcommands; today that is
+// `store verify`, the offline scrub walk.
+func cmdStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("store: missing subcommand (try: store verify -store DIR)")
+	}
+	switch args[0] {
+	case "verify":
+		return cmdStoreVerify(args[1:])
+	default:
+		return fmt.Errorf("store: unknown subcommand %q (try: store verify -store DIR)", args[0])
+	}
+}
+
+// cmdStoreVerify runs the scrub walk: every committed entry re-read and
+// checksum-verified, corrupt entries quarantined, crash-orphaned temp files
+// swept. It exits non-zero when the walk quarantined anything, so a CI or
+// cron invocation alarms on bit-rot while still leaving the store itself in
+// a consistent, serving state.
+func cmdStoreVerify(args []string) error {
+	fs := flag.NewFlagSet("store verify", flag.ExitOnError)
+	dir := addStoreFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("store verify: -store DIR is required")
+	}
+	s, err := store.Open(*dir)
+	if err != nil {
+		return err
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store %s: %s\n", *dir, rep)
+	if n := len(rep.Quarantined); n > 0 {
+		return fmt.Errorf("store verify: quarantined %d corrupt entr%s: %s",
+			n, plural(n, "y", "ies"), strings.Join(rep.Quarantined, ", "))
+	}
+	return nil
+}
+
+// plural picks the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

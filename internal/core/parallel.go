@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -47,13 +48,25 @@ func (r *Runner) workers() int {
 	return w
 }
 
-// RunMany simulates every job on a bounded worker pool (Parallelism workers,
-// default GOMAXPROCS) and returns reports aligned with jobs. Duplicate jobs
-// cost one simulation: the singleflight cache collapses them. On failure the
-// first error wins: remaining queued jobs are cancelled, in-flight ones
-// finish, and the error is returned with a nil slice. Results are positional,
-// so output assembled from them is identical to a serial loop over jobs.
+// RunMany simulates every job on a bounded worker pool; it is RunManyCtx
+// under a background context.
 func (r *Runner) RunMany(jobs []Job) ([]*sim.Report, error) {
+	return r.RunManyCtx(context.Background(), jobs)
+}
+
+// RunManyCtx simulates every job on a bounded worker pool (Parallelism
+// workers, default GOMAXPROCS) and returns reports aligned with jobs.
+// Duplicate jobs cost one simulation: the singleflight cache collapses them.
+// Results are positional, so output assembled from them is identical to a
+// serial loop over jobs.
+//
+// Cancellation and failure share one mechanism: the job context. The first
+// job error cancels it with that error as the cause, which stops the
+// dispatcher (queued jobs never start) and aborts in-flight simulations at
+// their next epoch boundary; a caller canceling ctx does exactly the same
+// with its own cause. Either way RunManyCtx returns only after every worker
+// has drained, with a nil slice and the first-cause error.
+func (r *Runner) RunManyCtx(ctx context.Context, jobs []Job) ([]*sim.Report, error) {
 	out := make([]*sim.Report, len(jobs))
 	workers := r.workers()
 	if workers > len(jobs) {
@@ -61,7 +74,7 @@ func (r *Runner) RunMany(jobs []Job) ([]*sim.Report, error) {
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
-			rep, err := r.RunCfg(j.Bench, j.Cfg)
+			rep, err := r.RunCfgCtx(ctx, j.Bench, j.Cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -70,40 +83,28 @@ func (r *Runner) RunMany(jobs []Job) ([]*sim.Report, error) {
 		return out, nil
 	}
 
-	var (
-		wg       sync.WaitGroup
-		stopOnce sync.Once
-		stop     = make(chan struct{})
-		errMu    sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		stopOnce.Do(func() { close(stop) })
-	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
 	next := make(chan int)
 	go func() {
 		defer close(next)
 		for i := range jobs {
 			select {
 			case next <- i:
-			case <-stop:
+			case <-ctx.Done():
 				return
 			}
 		}
 	}()
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rep, err := r.RunCfg(jobs[i].Bench, jobs[i].Cfg)
+				rep, err := r.RunCfgCtx(ctx, jobs[i].Bench, jobs[i].Cfg)
 				if err != nil {
-					fail(err)
+					cancel(err)
 					return
 				}
 				out[i] = rep
@@ -111,8 +112,8 @@ func (r *Runner) RunMany(jobs []Job) ([]*sim.Report, error) {
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(ctx)
 	}
 	return out, nil
 }
@@ -140,5 +141,12 @@ func (r *Runner) RunAllParallel(t Technique) ([]NamedReport, error) {
 // serial path while the simulations themselves use every core.
 func (r *Runner) Prefetch(jobs []Job) error {
 	_, err := r.RunMany(jobs)
+	return err
+}
+
+// PrefetchCtx is Prefetch under a context; see RunManyCtx for the
+// cancellation contract.
+func (r *Runner) PrefetchCtx(ctx context.Context, jobs []Job) error {
+	_, err := r.RunManyCtx(ctx, jobs)
 	return err
 }

@@ -1,13 +1,19 @@
 package core
 
 import (
+	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"warpedgates/internal/config"
 	"warpedgates/internal/kernels"
 	"warpedgates/internal/sim"
+	"warpedgates/internal/store"
 )
 
 // Runner executes benchmark simulations with memoization: many figures reuse
@@ -15,6 +21,13 @@ import (
 // configuration is simulated exactly once — including under concurrency,
 // where duplicate in-flight requests block on the single real run
 // (singleflight) and share its report. Runner is safe for concurrent use.
+//
+// The cache is tiered. The in-memory map is the L1; when Store is set, a
+// content-addressed on-disk report store is the durable L2: an L1 miss first
+// consults the store (checksummed, crash-safe — see internal/store) and only
+// simulates on a store miss, committing the fresh report back. Singleflight
+// spans both tiers — concurrent requesters of one key share one store lookup
+// or one simulation, never several.
 type Runner struct {
 	// Base is the machine configuration figures are evaluated on; technique
 	// and sweep parameters are applied on top of copies of it.
@@ -27,6 +40,25 @@ type Runner struct {
 	// Zero (the default) means runtime.GOMAXPROCS(0). It does not limit
 	// plain Run/RunCfg calls, which always execute on the caller.
 	Parallelism int
+	// Store, when non-nil, is the durable report tier. Reports served from it
+	// are byte-identical to fresh simulations (the golden corpus pins this),
+	// but arrive without a simulation: Progress and Instrument do not fire
+	// for store hits — they observe simulations, not reports. Store write
+	// failures never fail a run (the report is still correct); they are
+	// recorded in the store's health counters.
+	Store *store.Store
+	// MaxCachedReports bounds how many completed reports the in-memory tier
+	// retains (least-recently-used eviction). Zero, the default, is
+	// unlimited — the right choice for batch figure runs, which revisit
+	// everything. Long-lived store-backed processes set a bound so the L1
+	// cannot grow without limit; evicted keys are re-served from the store.
+	// In-flight singleflight entries are never evicted.
+	MaxCachedReports int
+	// MaxWallTime, when positive, is the per-job watchdog: an uncached
+	// simulation exceeding it is canceled at its next epoch boundary and
+	// fails with an error wrapping ErrDeadline, instead of occupying a
+	// worker forever. Zero disables the watchdog.
+	MaxWallTime time.Duration
 	// Progress, when non-nil, is invoked before each uncached simulation.
 	// Under RunMany/RunAllParallel it is called concurrently from worker
 	// goroutines, so the callback must be safe for concurrent use. Set it
@@ -44,15 +76,42 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cache map[runKey]*cacheEntry
+	// lru orders completed cache entries, most recent at the front; in-flight
+	// entries join only once their report lands, so eviction can never drop
+	// an entry a waiter is blocked on before its done channel closes.
+	lru list.List
+}
+
+// ErrDeadline is wrapped by runs killed by the MaxWallTime watchdog; detect
+// it with errors.Is. It is distinct from a caller's own cancellation or
+// deadline, so sweeps can tell "this job hung" from "I gave up".
+var ErrDeadline = errors.New("core: simulation exceeded MaxWallTime")
+
+// PanicError is a panic captured inside one simulation job, converted into a
+// per-job error so a sweep loses one cell instead of the whole process. The
+// stack is the panicking goroutine's, captured at recovery point.
+type PanicError struct {
+	Bench string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: panic simulating %s: %v", e.Bench, e.Value)
 }
 
 // cacheEntry is one singleflight slot: the first requester of a key becomes
-// the leader and simulates; everyone else blocks on done and shares the
-// result. rep and err are written exactly once, before done is closed.
+// the leader and resolves it (store lookup, then simulation); everyone else
+// blocks on done and shares the result. rep and err are written exactly once,
+// before done is closed. elem is the entry's LRU slot, non-nil only once the
+// entry completed successfully and became resident.
 type cacheEntry struct {
 	done chan struct{}
 	rep  *sim.Report
 	err  error
+	key  runKey
+	elem *list.Element
 }
 
 // runKey identifies a unique simulation. IntraRunWorkers, BatchCycles and
@@ -75,6 +134,46 @@ type runKey struct {
 	seed       uint64
 	scale      float64
 	relaxed    int
+}
+
+// makeRunKey projects the result-determining axes of one job into its key.
+func makeRunKey(bench string, cfg config.Config, scale float64) runKey {
+	return runKey{
+		bench:      bench,
+		scheduler:  cfg.Scheduler,
+		gating:     cfg.Gating,
+		adaptive:   cfg.AdaptiveIdleDetect,
+		idleDetect: cfg.IdleDetect,
+		breakEven:  cfg.BreakEven,
+		wakeup:     cfg.WakeupDelay,
+		numSMs:     cfg.NumSMs,
+		clusters:   cfg.NumSPClusters,
+		maxHold:    cfg.GATESMaxHold,
+		auxBO:      cfg.BlackoutAux,
+		seed:       cfg.Seed,
+		scale:      scale,
+		relaxed:    cfg.EpochRelaxedCycles,
+	}
+}
+
+// canonical renders the key as the deterministic single-line string the
+// durable store is addressed by. The format is versioned: changing which
+// fields key a simulation (or how they are rendered) must bump it, or stale
+// store entries would be served for jobs they no longer describe. The float
+// scale uses the shortest exact round-trip form, like the fingerprints.
+func (k runKey) canonical() string {
+	return fmt.Sprintf(
+		"wg-job v1 bench=%s sched=%s gate=%s adaptive=%t idle=%d bet=%d wake=%d sms=%d clusters=%d maxhold=%d auxbo=%t seed=%d scale=%s relaxed=%d",
+		k.bench, k.scheduler, k.gating, k.adaptive, k.idleDetect, k.breakEven,
+		k.wakeup, k.numSMs, k.clusters, k.maxHold, k.auxBO, k.seed,
+		fmtFloat(k.scale), k.relaxed)
+}
+
+// JobKey returns the canonical durable-store key for one job at the given
+// scale — exported so tooling (and tests) can address store entries the same
+// way the runner does.
+func JobKey(bench string, cfg config.Config, scale float64) string {
+	return makeRunKey(bench, cfg, scale).canonical()
 }
 
 // NewRunner builds a runner over the given base configuration at full scale.
@@ -100,57 +199,128 @@ func checkScale(s float64) error {
 	return nil
 }
 
-// Run simulates benchmark bench under technique t on the base configuration.
-func (r *Runner) Run(bench string, t Technique) (*sim.Report, error) {
-	return r.RunCfg(bench, t.Apply(r.Base))
+// ctxErr converts a canceled context into the error its caller should see:
+// the cause (the watchdog's ErrDeadline, RunMany's first job error, or
+// whatever the caller planted) when one was set, the plain ctx.Err otherwise.
+func ctxErr(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
 }
 
-// RunCfg simulates bench under an explicit configuration (for sweeps). For a
-// given key the simulation runs exactly once: concurrent duplicate requests
-// block on the first one and share its report. Failed runs are not cached,
-// so a later call may retry.
+// Run simulates benchmark bench under technique t on the base configuration.
+func (r *Runner) Run(bench string, t Technique) (*sim.Report, error) {
+	return r.RunCtx(context.Background(), bench, t)
+}
+
+// RunCtx is Run under a context; see RunCfgCtx for the cancellation contract.
+func (r *Runner) RunCtx(ctx context.Context, bench string, t Technique) (*sim.Report, error) {
+	return r.RunCfgCtx(ctx, bench, t.Apply(r.Base))
+}
+
+// RunCfg simulates bench under an explicit configuration (for sweeps); it is
+// RunCfgCtx under a background context.
 func (r *Runner) RunCfg(bench string, cfg config.Config) (*sim.Report, error) {
+	return r.RunCfgCtx(context.Background(), bench, cfg)
+}
+
+// RunCfgCtx simulates bench under an explicit configuration. For a given key
+// the work runs exactly once: concurrent duplicate requests block on the
+// first one (the leader) and share its report. Failed runs are not cached,
+// so a later call may retry.
+//
+// ctx cancels the simulation at its next epoch boundary (one batch window at
+// most). Waiters sharing a leader share the leader's fate: if the leader's
+// context dies, every waiter gets the cancellation error, and the key is
+// immediately retryable. Cancellation and watchdog errors are never cached.
+func (r *Runner) RunCfgCtx(ctx context.Context, bench string, cfg config.Config) (*sim.Report, error) {
 	if err := checkScale(r.Scale); err != nil {
 		return nil, err
 	}
-	key := runKey{
-		bench:      bench,
-		scheduler:  cfg.Scheduler,
-		gating:     cfg.Gating,
-		adaptive:   cfg.AdaptiveIdleDetect,
-		idleDetect: cfg.IdleDetect,
-		breakEven:  cfg.BreakEven,
-		wakeup:     cfg.WakeupDelay,
-		numSMs:     cfg.NumSMs,
-		clusters:   cfg.NumSPClusters,
-		maxHold:    cfg.GATESMaxHold,
-		auxBO:      cfg.BlackoutAux,
-		seed:       cfg.Seed,
-		scale:      r.Scale,
-		relaxed:    cfg.EpochRelaxedCycles,
+	if ctx.Err() != nil {
+		return nil, ctxErr(ctx)
 	}
+	key := makeRunKey(bench, cfg, r.Scale)
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
+		if e.elem != nil {
+			r.lru.MoveToFront(e.elem)
+		}
 		r.mu.Unlock()
 		<-e.done
 		return e.rep, e.err
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{done: make(chan struct{}), key: key}
 	r.cache[key] = e
 	r.mu.Unlock()
 
-	e.rep, e.err = r.simulate(bench, cfg)
+	e.rep, e.err = r.resolve(ctx, bench, cfg, key)
+	r.mu.Lock()
 	if e.err != nil {
-		r.mu.Lock()
 		delete(r.cache, key)
-		r.mu.Unlock()
+	} else {
+		e.elem = r.lru.PushFront(e)
+		r.evictLocked()
 	}
+	r.mu.Unlock()
 	close(e.done)
 	return e.rep, e.err
 }
 
-// simulate performs one uncached simulation (the singleflight leader path).
-func (r *Runner) simulate(bench string, cfg config.Config) (*sim.Report, error) {
+// evictLocked trims the completed-entry LRU to MaxCachedReports, dropping the
+// least recently used residents. Callers hold r.mu. An evicted entry's done
+// channel is already closed (only completed entries are in the list), so
+// waiters holding its pointer are unaffected; the key simply resolves fresh —
+// from the store, if one is attached — on its next request.
+func (r *Runner) evictLocked() {
+	if r.MaxCachedReports <= 0 {
+		return
+	}
+	for r.lru.Len() > r.MaxCachedReports {
+		old := r.lru.Remove(r.lru.Back()).(*cacheEntry)
+		delete(r.cache, old.key)
+	}
+}
+
+// resolve is the singleflight leader path: consult the durable store, then
+// simulate on a miss and commit the result back.
+func (r *Runner) resolve(ctx context.Context, bench string, cfg config.Config, key runKey) (*sim.Report, error) {
+	var storeKey string
+	if r.Store != nil {
+		storeKey = key.canonical()
+		if data, ok, _ := r.Store.Get(storeKey); ok {
+			if rep, err := sim.DecodeReport(data); err == nil {
+				return rep, nil
+			}
+			// Checksum-valid but undecodable: a different codec version.
+			// Treat as a miss; the fresh simulation's commit overwrites it.
+		}
+	}
+	rep, err := r.simulate(ctx, bench, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.Store != nil {
+		if data, err := sim.EncodeReport(rep); err == nil {
+			// A failed Put is recorded in the store's health counters; the
+			// report itself is valid regardless, so the run still succeeds.
+			_ = r.Store.Put(storeKey, data)
+		}
+	}
+	return rep, nil
+}
+
+// simulate performs one uncached simulation. It arms the MaxWallTime
+// watchdog, and converts a panic anywhere in the simulation (or in the
+// Progress/Instrument hooks) into a *PanicError with the captured stack, so
+// one poisoned job cannot kill a whole sweep's worker pool.
+func (r *Runner) simulate(ctx context.Context, bench string, cfg config.Config) (rep *sim.Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			rep, err = nil, &PanicError{Bench: bench, Value: v, Stack: debug.Stack()}
+		}
+	}()
 	k, err := kernels.Benchmark(bench)
 	if err != nil {
 		return nil, err
@@ -169,7 +339,15 @@ func (r *Runner) simulate(bench string, cfg config.Config) (*sim.Report, error) 
 	if r.Instrument != nil {
 		finish = r.Instrument(bench, cfg, k, gpu)
 	}
-	rep := gpu.Run()
+	if r.MaxWallTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, r.MaxWallTime, ErrDeadline)
+		defer cancel()
+	}
+	rep, err = gpu.RunCtx(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s under %s/%s: %w", bench, cfg.Scheduler, cfg.Gating, err)
+	}
 	if finish != nil {
 		if err := finish(rep); err != nil {
 			return nil, fmt.Errorf("core: instrumented run of %s: %w", bench, err)

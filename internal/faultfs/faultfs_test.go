@@ -1,0 +1,166 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"warpedgates/internal/store"
+)
+
+func newT(t *testing.T) (*FS, string) {
+	t.Helper()
+	return New(store.OSFS{}), t.TempDir()
+}
+
+// TestStepCountingAndFailAt pins the determinism contract: mutating ops are
+// numbered from 1 in call order, exactly the armed op fails, and everything
+// before and after it applies normally.
+func TestStepCountingAndFailAt(t *testing.T) {
+	f, dir := newT(t)
+	f.FailAt(2, Fail)
+	if err := f.MkdirAll(filepath.Join(dir, "a"), 0o755); err != nil { // op 1
+		t.Fatalf("op 1 failed: %v", err)
+	}
+	err := f.WriteFile(filepath.Join(dir, "a", "x"), []byte("x"), 0o644) // op 2
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 = %v, want ErrInjected", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "a", "x")); !os.IsNotExist(statErr) {
+		t.Fatal("Fail-mode op applied its write")
+	}
+	if err := f.WriteFile(filepath.Join(dir, "a", "y"), []byte("y"), 0o644); err != nil { // op 3
+		t.Fatalf("op 3 failed: %v", err)
+	}
+	if got := f.Steps(); got != 3 {
+		t.Fatalf("Steps() = %d, want 3", got)
+	}
+}
+
+// TestTornWritePersistsPrefix: a Torn fault leaves exactly the first half of
+// the data on disk — the shape a power cut mid-write produces.
+func TestTornWritePersistsPrefix(t *testing.T) {
+	f, dir := newT(t)
+	f.FailAt(1, Torn)
+	data := []byte("0123456789")
+	path := filepath.Join(dir, "torn")
+	if err := f.WriteFile(path, data, 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %v, want ErrInjected", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("torn write left nothing on disk: %v", err)
+	}
+	if !bytes.Equal(got, data[:5]) {
+		t.Fatalf("torn write persisted %q, want the %q prefix", got, data[:5])
+	}
+}
+
+// TestCrashModeIsTerminal: from the crash point on, every operation — reads
+// included — fails, and Crashed() reports it.
+func TestCrashModeIsTerminal(t *testing.T) {
+	f, dir := newT(t)
+	path := filepath.Join(dir, "pre")
+	if err := f.WriteFile(path, []byte("pre"), 0o644); err != nil { // op 1
+		t.Fatal(err)
+	}
+	f.FailAt(2, Crash)
+	if err := f.Remove(path); !errors.Is(err, ErrCrashed) { // op 2: the crash
+		t.Fatalf("crash op = %v, want ErrCrashed", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("Crashed() = false after the crash fired")
+	}
+	if err := f.MkdirAll(filepath.Join(dir, "later"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash mutation = %v, want ErrCrashed", err)
+	}
+	if _, err := f.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read = %v, want ErrCrashed", err)
+	}
+	if _, err := f.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ReadDir = %v, want ErrCrashed", err)
+	}
+	if _, err := f.Stat(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Stat = %v, want ErrCrashed", err)
+	}
+	// The pre-crash write survives on the real disk (for the reopen phase of
+	// crash-consistency tests, which uses a fresh clean filesystem).
+	if got, err := os.ReadFile(path); err != nil || string(got) != "pre" {
+		t.Fatalf("pre-crash data damaged: %q, %v", got, err)
+	}
+}
+
+// TestENOSPCMode returns a real ENOSPC errno so errors.Is classification in
+// the store treats it exactly like a genuinely full disk.
+func TestENOSPCMode(t *testing.T) {
+	f, dir := newT(t)
+	f.FailAt(1, ENOSPC)
+	err := f.WriteFile(filepath.Join(dir, "x"), []byte("x"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC mode = %v, want syscall.ENOSPC", err)
+	}
+}
+
+// TestCorruptReadAtFlipsInFlightOnly: the armed read returns flipped bytes
+// while the file on disk stays intact, and other reads are untouched.
+func TestCorruptReadAtFlipsInFlightOnly(t *testing.T) {
+	f, dir := newT(t)
+	path := filepath.Join(dir, "data")
+	data := bytes.Repeat([]byte("d"), 32)
+	if err := f.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f.CorruptReadAt(2)
+	r1, err := f.ReadFile(path)
+	if err != nil || !bytes.Equal(r1, data) {
+		t.Fatalf("read 1 = %q, %v; want clean bytes", r1, err)
+	}
+	r2, err := f.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for i := range data {
+		if r2[i] != data[i] {
+			flipped++
+		}
+	}
+	if flipped != 1 || r2[len(data)/2] != data[len(data)/2]^0x40 {
+		t.Fatalf("read 2 corruption is not the single armed byte flip (%d bytes differ): %q", flipped, r2)
+	}
+	r3, err := f.ReadFile(path)
+	if err != nil || !bytes.Equal(r3, data) {
+		t.Fatalf("read 3 = %q, %v; want clean bytes again", r3, err)
+	}
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, data) {
+		t.Fatal("CorruptReadAt damaged the disk; it must corrupt in flight only")
+	}
+}
+
+// TestTransientErrsDoNotAdvanceSteps: transient faults are absorbed before
+// step accounting, so arming them does not shift a FailAt schedule — the two
+// knobs compose deterministically.
+func TestTransientErrsDoNotAdvanceSteps(t *testing.T) {
+	f, dir := newT(t)
+	f.TransientErrs(2)
+	path := filepath.Join(dir, "x")
+	for i := 0; i < 2; i++ {
+		err := f.WriteFile(path, []byte("x"), 0o644)
+		if !errors.Is(err, ErrTransient) {
+			t.Fatalf("transient op %d = %v, want ErrTransient", i+1, err)
+		}
+	}
+	if err := f.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("op after transients: %v", err)
+	}
+	if got := f.Steps(); got != 1 {
+		t.Fatalf("Steps() = %d after 2 transients + 1 real op, want 1", got)
+	}
+	var tr store.Transient
+	if !errors.As(ErrTransient, &tr) || !tr.Transient() {
+		t.Fatal("ErrTransient does not satisfy store.Transient")
+	}
+}

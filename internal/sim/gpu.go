@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"warpedgates/internal/config"
@@ -39,15 +40,41 @@ func NewGPU(cfg config.Config, k *kernels.Kernel) (*GPU, error) {
 }
 
 // Run executes the workload to completion (or cfg.MaxCycles) and returns the
-// final report. With cfg.IntraRunWorkers > 1 the phase-split parallel engine
-// (runParallel) steps the SM array on several goroutines; in exact mode its
-// results are bit-identical to the serial loop below. Relaxed mode
+// final report. It is RunCtx under a background context, which can never be
+// canceled, so the error return is vacuous and elided.
+func (g *GPU) Run() *Report {
+	rep, _ := g.RunCtx(context.Background())
+	return rep
+}
+
+// canceled wraps the context's cause into the error a canceled run returns.
+// context.Cause surfaces the watchdog's typed deadline error when the
+// experiment runner armed one (context.WithTimeoutCause), and the plain
+// context.Canceled/DeadlineExceeded otherwise, so errors.Is works against
+// whichever sentinel the caller planted.
+func (g *GPU) canceled(ctx context.Context) error {
+	return fmt.Errorf("sim: %s canceled at cycle %d: %w", g.kernel.Name, g.cycle, context.Cause(ctx))
+}
+
+// RunCtx executes the workload to completion (or cfg.MaxCycles) and returns
+// the final report. With cfg.IntraRunWorkers > 1 the phase-split parallel
+// engine (runParallel) steps the SM array on several goroutines; in exact
+// mode its results are bit-identical to the serial loop below. Relaxed mode
 // (cfg.EpochRelaxedCycles > 0) always uses the windowed engine — even with
 // one worker — because its windows, not the worker count, define the result:
 // any worker count then reproduces the same relaxed run byte for byte.
-func (g *GPU) Run() *Report {
+//
+// Cancellation is polled at epoch boundaries: once per device step in the
+// serial loop and once per barrier round in the parallel engine, so a
+// canceled context stops the simulation within one batch window. A canceled
+// run returns a nil report and an error wrapping context.Cause(ctx); the
+// device's partial state is not meaningful and no report is assembled.
+func (g *GPU) RunCtx(ctx context.Context) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, g.canceled(ctx)
+	}
 	if w := g.workerCount(); w > 1 || g.cfg.EpochRelaxedCycles > 0 {
-		return g.runParallel(w)
+		return g.runParallel(ctx, w)
 	}
 	// Completion is event-driven rather than scanned: an SM flips its drained
 	// flag at the transition point (last warp of its last CTA finishing, in
@@ -65,7 +92,17 @@ func (g *GPU) Run() *Report {
 		}
 	}
 	maxCycles := int64(g.cfg.MaxCycles)
+	// done is nil for an uncancellable context (Run's Background), making the
+	// poll below free on the hot path that cannot observe it anyway.
+	done := ctx.Done()
 	for live > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, g.canceled(ctx)
+			default:
+			}
+		}
 		if maxCycles > 0 && g.cycle >= maxCycles {
 			g.ranOut = true
 			break
@@ -102,7 +139,7 @@ func (g *GPU) Run() *Report {
 	for _, sm := range g.sms {
 		sm.finish()
 	}
-	return g.report()
+	return g.report(), nil
 }
 
 // workerCount clamps the configured intra-run worker count to the SM array:

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -92,7 +93,13 @@ type shardResult struct {
 // pendingAt and needFinal slots are handed back and forth between an SM's
 // owning worker and the coordinator across the same barrier.
 type parRun struct {
-	g         *GPU
+	g *GPU
+	// ctxDone is the run context's cancellation channel (nil when the context
+	// cannot be canceled); the coordinator polls it once per barrier round and
+	// flips canceled, which exits every worker within one compute window.
+	ctxDone  <-chan struct{}
+	canceled bool
+
 	workers   int32
 	maxCycles int64
 	batch     int64 // exact-mode window length (cfg.EffectiveBatchCycles)
@@ -121,7 +128,7 @@ type parRun struct {
 }
 
 // runParallel is the parallel counterpart of the serial loop in Run.
-func (g *GPU) runParallel(workers int) *Report {
+func (g *GPU) runParallel(ctx context.Context, workers int) (*Report, error) {
 	live := 0
 	for _, sm := range g.sms {
 		if sm.done() {
@@ -132,9 +139,11 @@ func (g *GPU) runParallel(workers int) *Report {
 		sm.memStage = true
 		sm.memPort.SetBankStaging(true)
 	}
+	var canceled bool
 	if live > 0 {
 		pr := &parRun{
 			g:         g,
+			ctxDone:   ctx.Done(),
 			workers:   int32(workers),
 			maxCycles: int64(g.cfg.MaxCycles),
 			batch:     int64(g.cfg.EffectiveBatchCycles()),
@@ -169,6 +178,7 @@ func (g *GPU) runParallel(workers int) *Report {
 		}
 		pr.worker(0)
 		wg.Wait()
+		canceled = pr.canceled
 	}
 	for _, sm := range g.sms {
 		sm.finish()
@@ -176,7 +186,10 @@ func (g *GPU) runParallel(workers int) *Report {
 		sm.memPort.SetBankStaging(false)
 		sm.stagedRet = sm.stagedRet[:0]
 	}
-	return g.report()
+	if canceled {
+		return nil, g.canceled(ctx)
+	}
+	return g.report(), nil
 }
 
 // worker owns the contiguous SM shard [w*n/W, (w+1)*n/W) and the bank range
@@ -286,9 +299,20 @@ func (pr *parRun) resolveBanks(bankLo, bankHi int, cur []int32) {
 
 // advance is the coordinator section, run once per barrier with every worker
 // parked: fold the phase's results, schedule resolvable staged ops, decide
-// termination, or open the next compute window.
+// termination, or open the next compute window. It polls the run context
+// first — one poll per barrier round bounds cancellation latency to a single
+// compute window without touching the workers' hot loops.
 func (pr *parRun) advance() {
 	g := pr.g
+	if pr.ctxDone != nil {
+		select {
+		case <-pr.ctxDone:
+			pr.canceled = true
+			pr.op = opExit
+			return
+		default:
+		}
+	}
 	if pr.op == opResolve {
 		// The bank phase covered every scheduled SM's device ops; their
 		// owning workers book the writebacks next compute phase.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -162,6 +163,62 @@ func (h *Histogram) Regions3(idleDetect, bet int) (r1, r2, r3 float64) {
 	return h.FractionBelow(idleDetect),
 		h.FractionBetween(idleDetect, idleDetect+bet),
 		h.FractionAtLeast(idleDetect + bet)
+}
+
+// histogramJSON is the wire form of a Histogram: parallel value/count slices
+// in ascending value order. The derived aggregates (total, sum, min, max) are
+// rebuilt on decode, so the encoding cannot drift from them, and the sorted
+// order makes the bytes deterministic — a requirement of the durable report
+// store, whose entries are checksummed.
+type histogramJSON struct {
+	Values []int    `json:"values"`
+	Counts []uint64 `json:"counts"`
+}
+
+// MarshalJSON encodes the histogram deterministically (values ascending).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	enc := histogramJSON{Values: h.Values()}
+	enc.Counts = make([]uint64, len(enc.Values))
+	for i, v := range enc.Values {
+		enc.Counts[i] = h.counts[v]
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes a histogram produced by MarshalJSON, replacing h's
+// contents and recomputing every derived aggregate.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var dec histogramJSON
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	if len(dec.Values) != len(dec.Counts) {
+		return fmt.Errorf("stats: histogram decode: %d values but %d counts", len(dec.Values), len(dec.Counts))
+	}
+	*h = Histogram{counts: make(map[int]uint64, len(dec.Values)), min: -1}
+	for i, v := range dec.Values {
+		if v < 0 {
+			return fmt.Errorf("stats: histogram decode: negative value %d", v)
+		}
+		if dec.Counts[i] == 0 {
+			return fmt.Errorf("stats: histogram decode: zero count for value %d", v)
+		}
+		h.AddN(v, dec.Counts[i])
+	}
+	return nil
+}
+
+// Equal reports whether two histograms hold identical observations.
+func (h *Histogram) Equal(other *Histogram) bool {
+	if h.total != other.total || h.sum != other.sum || len(h.counts) != len(other.counts) {
+		return false
+	}
+	for v, c := range h.counts {
+		if other.counts[v] != c {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders a compact textual summary of the histogram.

@@ -198,3 +198,78 @@ func TestHistogramEmptyMinMaxMean(t *testing.T) {
 		t.Fatalf("Add(0): Min=%d Total=%d, want 0/1", h.Min(), h.Total())
 	}
 }
+
+func TestHistogramJSONRoundtrip(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(7, 3)
+	h.AddN(1, 5)
+	h.AddN(100, 1)
+	data, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	// Deterministic rendering: values ascending, so the bytes are stable for
+	// content-addressed storage.
+	if want := `{"values":[1,7,100],"counts":[5,3,1]}`; string(data) != want {
+		t.Fatalf("MarshalJSON = %s, want %s", data, want)
+	}
+	got := NewHistogram()
+	if err := got.UnmarshalJSON(data); err != nil {
+		t.Fatalf("UnmarshalJSON: %v", err)
+	}
+	if !got.Equal(h) {
+		t.Fatalf("round-trip drifted: %s vs %s", got, h)
+	}
+	if got.Total() != h.Total() || got.Sum() != h.Sum() || got.Min() != h.Min() || got.Max() != h.Max() {
+		t.Fatal("aggregates drifted through JSON")
+	}
+}
+
+func TestHistogramJSONEmpty(t *testing.T) {
+	h := NewHistogram()
+	data, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewHistogram()
+	if err := got.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(h) || got.Total() != 0 {
+		t.Fatal("empty histogram round-trip drifted")
+	}
+}
+
+func TestHistogramJSONRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`{"values":[1,2],"counts":[1]}`,  // length mismatch
+		`{"values":[-1],"counts":[1]}`,   // negative value
+		`{"values":[1],"counts":[0]}`,    // zero count
+		`not json`,
+	} {
+		h := NewHistogram()
+		if err := h.UnmarshalJSON([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalJSON(%s) accepted", bad)
+		}
+	}
+}
+
+func TestHistogramEqual(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	if !a.Equal(b) || !a.Equal(a) {
+		t.Fatal("empty histograms must be equal")
+	}
+	a.Add(4)
+	if a.Equal(b) {
+		t.Fatal("unequal totals reported equal")
+	}
+	b.Add(4)
+	if !a.Equal(b) {
+		t.Fatal("identical histograms reported unequal")
+	}
+	b.Add(5)
+	a.Add(6)
+	if a.Equal(b) {
+		t.Fatal("same totals, different values reported equal")
+	}
+}

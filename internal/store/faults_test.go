@@ -1,0 +1,296 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"warpedgates/internal/faultfs"
+	"warpedgates/internal/store"
+)
+
+// fastRetry is the test retry policy: same attempt budget as production,
+// near-zero delays so fault sweeps stay fast.
+func fastRetry() store.RetryPolicy {
+	p := store.DefaultRetry()
+	p.BaseDelay = 0
+	p.MaxDelay = 0
+	return p
+}
+
+// openFault builds a store over a fault-injecting wrapper of a fresh temp
+// dir. The returned FS is armed by each test before driving the store.
+func openFault(t *testing.T, dir string) (*store.Store, *faultfs.FS) {
+	t.Helper()
+	ffs := faultfs.New(store.OSFS{})
+	s, err := store.OpenFS(ffs, dir, fastRetry())
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	return s, ffs
+}
+
+// TestTransientErrorsRetried: operations failing with a store.Transient error
+// succeed once the retry budget absorbs the faults, and the spent retries are
+// visible in the health counters.
+func TestTransientErrorsRetried(t *testing.T) {
+	s, ffs := openFault(t, t.TempDir())
+	ffs.TransientErrs(2)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put with 2 transient faults: %v (retry budget is %d attempts)", err, store.DefaultRetry().Attempts)
+	}
+	if h := s.Health(); h.Retries < 2 || h.Writes != 1 || h.WriteErrors != 0 {
+		t.Fatalf("health after absorbed transients: %s", h)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("Get after retried Put = %q, %v, %v", got, ok, err)
+	}
+}
+
+// TestTransientBudgetExhausted: more consecutive transient faults than the
+// retry budget fail the operation with the underlying transient error.
+func TestTransientBudgetExhausted(t *testing.T) {
+	s, ffs := openFault(t, t.TempDir())
+	ffs.TransientErrs(100)
+	err := s.Put("k", []byte("v"))
+	if !errors.Is(err, faultfs.ErrTransient) {
+		t.Fatalf("Put under unbounded transients = %v, want ErrTransient after budget", err)
+	}
+	if h := s.Health(); h.WriteErrors != 1 || h.Writes != 0 {
+		t.Fatalf("health after exhausted budget: %s", h)
+	}
+}
+
+// TestENOSPCNotRetried: a full disk is permanent — the store must fail
+// immediately without burning its retry budget against it.
+func TestENOSPCNotRetried(t *testing.T) {
+	s, ffs := openFault(t, t.TempDir())
+	// Mutating ops: 1 = Open's MkdirAll, 2 = Put's MkdirAll, 3 = WriteFile.
+	ffs.FailAt(3, faultfs.ENOSPC)
+	err := s.Put("k", []byte("v"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put on full disk = %v, want ENOSPC", err)
+	}
+	if h := s.Health(); h.Retries != 0 {
+		t.Fatalf("ENOSPC was retried: %s", h)
+	}
+}
+
+// TestPermanentInjectedFaultNotRetried mirrors ENOSPC for the generic
+// permanent injected error.
+func TestPermanentInjectedFaultNotRetried(t *testing.T) {
+	s, ffs := openFault(t, t.TempDir())
+	ffs.FailAt(3, faultfs.Fail)
+	if err := s.Put("k", []byte("v")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Put = %v, want ErrInjected", err)
+	}
+	if h := s.Health(); h.Retries != 0 {
+		t.Fatalf("permanent fault was retried: %s", h)
+	}
+}
+
+// TestTornWriteNeverServed: a write torn mid-flight (power loss during the
+// temp-file write) fails the Put, and the half-written bytes are never
+// reachable through Get — the rename-commit never happened.
+func TestTornWriteNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFault(t, dir)
+	ffs.FailAt(3, faultfs.Torn) // op 3 = the temp-file WriteFile
+	if err := s.Put("k", bytes.Repeat([]byte("p"), 256)); err == nil {
+		t.Fatal("torn Put reported success")
+	}
+	if _, ok, err := s.Get("k"); ok || err != nil {
+		t.Fatalf("Get after torn write = ok=%v err=%v, want clean miss", ok, err)
+	}
+	// Reopen clean and scrub: any surviving temp debris is swept; nothing is
+	// quarantined, because nothing was ever committed.
+	clean, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clean.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("Verify after torn write: %s, want empty consistent store", rep)
+	}
+}
+
+// TestInFlightReadCorruptionRetriedNotQuarantined: a read corrupted in flight
+// (the disk is fine) is absorbed by the double-read — the entry is served on
+// the second read and must NOT be quarantined, or a transient controller
+// hiccup would destroy a healthy committed report.
+func TestInFlightReadCorruptionRetriedNotQuarantined(t *testing.T) {
+	s, ffs := openFault(t, t.TempDir())
+	payload := bytes.Repeat([]byte("q"), 512)
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	ffs.CorruptReadAt(1)
+	got, ok, err := s.Get("k")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get with in-flight corruption = ok=%v err=%v, want served on re-read", ok, err)
+	}
+	h := s.Health()
+	if h.Quarantined != 0 {
+		t.Fatalf("healthy entry quarantined on a transient read fault: %s", h)
+	}
+	if h.Retries == 0 {
+		t.Fatalf("re-read not accounted as a retry: %s", h)
+	}
+}
+
+// TestUnstableReadsErrorWithoutQuarantine: when even the re-read disagrees
+// with the first read (both corrupt, differently), the store cannot tell disk
+// damage from an I/O storm — it must err on the side of keeping the entry.
+func TestUnstableReadsErrorWithoutQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, ffs := openFault(t, dir)
+	if err := s.Put("k", bytes.Repeat([]byte("r"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the disk for real, then additionally corrupt the first read in
+	// flight: read 1 and read 2 both fail verification with different bytes.
+	clean, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, _ := clean.Verify(); rep.OK != 1 {
+		t.Fatal("setup: entry not committed")
+	}
+	damageOnDisk(t, dir)
+	ffs.CorruptReadAt(1)
+	_, ok, err := s.Get("k")
+	if ok {
+		t.Fatal("unverified bytes served")
+	}
+	if err == nil {
+		t.Fatal("unstable reads reported as a clean miss; want an explicit error")
+	}
+	if h := s.Health(); h.Quarantined != 0 {
+		t.Fatalf("entry quarantined on unstable (ambiguous) reads: %s", h)
+	}
+}
+
+// TestCrashDuringPutLeavesOldEntry: a crash at any point while overwriting a
+// key must leave the previously committed value intact and served.
+func TestCrashDuringPutLeavesOldEntry(t *testing.T) {
+	for step := 1; step <= 3; step++ { // MkdirAll, WriteFile, Rename
+		t.Run(fmt.Sprintf("step%d", step), func(t *testing.T) {
+			dir := t.TempDir()
+			s, ffs := openFault(t, dir)
+			if err := s.Put("k", []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			ffs.FailAt(4+step, faultfs.Crash) // op 1 = Open, ops 2-4 = first Put
+			if err := s.Put("k", []byte("new")); err == nil {
+				t.Fatal("crashed Put reported success")
+			}
+			clean, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := clean.Get("k")
+			if err != nil || !ok || string(got) != "old" {
+				t.Fatalf("after crash mid-overwrite: Get = %q, %v, %v; want the old committed value", got, ok, err)
+			}
+			rep, err := clean.Verify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Quarantined) != 0 {
+				t.Fatalf("crash debris quarantined a committed entry: %s", rep)
+			}
+		})
+	}
+}
+
+// TestCrashConsistencySweep is the fail-nth-write sweep of the acceptance
+// criteria: a fixed two-commit scenario is re-run with a fault injected at
+// every mutating operation in turn, under every fault mode. After each
+// "crash" the directory is reopened with a clean filesystem and must satisfy:
+//
+//   - Get never returns wrong bytes: every key is either a verified hit with
+//     its exact payload or a clean miss.
+//   - Durability: a Put that reported success is a hit after reopen.
+//   - No false positives: Verify quarantines nothing — interrupted writes
+//     leave only temp debris, never a damaged committed entry.
+func TestCrashConsistencySweep(t *testing.T) {
+	payloads := map[string][]byte{
+		"job-A": bytes.Repeat([]byte("A"), 300),
+		"job-B": bytes.Repeat([]byte("B"), 700),
+	}
+	scenario := func(s *store.Store) map[string]error {
+		return map[string]error{
+			"job-A": s.Put("job-A", payloads["job-A"]),
+			"job-B": s.Put("job-B", payloads["job-B"]),
+		}
+	}
+
+	// Clean pass: count the scenario's mutating operations.
+	s, ffs := openFault(t, t.TempDir())
+	for k, err := range scenario(s) {
+		if err != nil {
+			t.Fatalf("clean pass Put(%s): %v", k, err)
+		}
+	}
+	steps := ffs.Steps()
+	if steps < 4 {
+		t.Fatalf("clean scenario took %d mutating ops, expected at least 4", steps)
+	}
+
+	for _, mode := range []struct {
+		name string
+		m    faultfs.Mode
+	}{{"fail", faultfs.Fail}, {"torn", faultfs.Torn}, {"crash", faultfs.Crash}, {"enospc", faultfs.ENOSPC}} {
+		// Op 1 is Open's MkdirAll, already spent before the fault is armed;
+		// the sweep covers every operation the scenario itself performs.
+		for n := 2; n <= steps; n++ {
+			t.Run(fmt.Sprintf("%s/op%d", mode.name, n), func(t *testing.T) {
+				dir := t.TempDir()
+				s, ffs := openFault(t, dir)
+				ffs.FailAt(n, mode.m)
+				putErr := scenario(s)
+
+				clean, err := store.Open(dir)
+				if err != nil {
+					t.Fatalf("reopen after fault: %v", err)
+				}
+				for key, want := range payloads {
+					got, ok, err := clean.Get(key)
+					if err != nil {
+						t.Fatalf("Get(%s) after reopen: %v", key, err)
+					}
+					if ok && !bytes.Equal(got, want) {
+						t.Fatalf("Get(%s) served %d wrong bytes — corruption escaped verification", key, len(got))
+					}
+					if putErr[key] == nil && !ok {
+						t.Fatalf("Put(%s) reported success but the entry did not survive reopen", key)
+					}
+				}
+				rep, err := clean.Verify()
+				if err != nil {
+					t.Fatalf("Verify after reopen: %v", err)
+				}
+				if len(rep.Quarantined) != 0 {
+					t.Fatalf("fault at op %d left a false-positive quarantine: %s", n, rep)
+				}
+				// A second scrub after the first swept temps must be fully clean.
+				if rep2, _ := clean.Verify(); rep2.TempsSwept != 0 || len(rep2.Quarantined) != 0 {
+					t.Fatalf("store not consistent after one scrub: %s", rep2)
+				}
+			})
+		}
+	}
+}
+
+// damageOnDisk flips a byte of the single committed entry using the real
+// filesystem, bypassing any fault wrapper.
+func damageOnDisk(t *testing.T, dir string) {
+	t.Helper()
+	corruptEntry(t, entryFile(t, dir))
+}

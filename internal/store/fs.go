@@ -1,0 +1,52 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the narrow filesystem surface the store runs on. Production uses
+// OSFS; tests substitute internal/faultfs to inject write failures, torn
+// writes, simulated crashes and read corruption deterministically. Every
+// mutating call is a potential crash point, which is exactly what the
+// fault-injection sweep enumerates.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// WriteFile creates or replaces path with data in one logical call. The
+	// store never relies on it being atomic: durable commits always go
+	// through a temp file plus Rename.
+	WriteFile(path string, data []byte, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename
+	// semantics); it is the store's commit point.
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	ReadDir(path string) ([]fs.DirEntry, error)
+	Stat(path string) (fs.FileInfo, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// WriteFile implements FS.
+func (OSFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+// Stat implements FS.
+func (OSFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Transient marks an error as worth retrying: the failure is expected to
+// clear on its own (momentary contention, an interrupted syscall), as opposed
+// to deterministic failures like a full disk or a checksum mismatch, where a
+// retry can only burn time. internal/faultfs's transient faults implement it.
+type Transient interface {
+	Transient() bool
+}
+
+// isTransient classifies err for the retry loop: anything implementing
+// Transient (and saying so), plus the classic retryable errnos. ENOSPC is
+// deliberately NOT here — a full disk does not clear in a backoff window, and
+// retrying it three times before failing a Put only delays the caller.
+func isTransient(err error) bool {
+	var t Transient
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.EBUSY)
+}
+
+// RetryPolicy bounds the store's retry-with-jittered-backoff loop around
+// individual filesystem operations. Only transient errors (see Transient) are
+// retried; permanent classes fail on the first attempt.
+type RetryPolicy struct {
+	// Attempts is the total tries per operation (first try included).
+	// Values below 1 behave as 1 (no retry).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; each subsequent retry
+	// doubles it. Zero sleeps not at all, which is what tests want.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Zero means no cap.
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic per store instance.
+	Seed uint64
+}
+
+// DefaultRetry is the production policy: 4 attempts, 1ms/2ms/4ms jittered.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: 0x5eed}
+}
+
+// retrier is the mutable retry state of one Store (jitter PRNG stream).
+// The stream is shared by every goroutine using the store, so next() locks.
+type retrier struct {
+	policy RetryPolicy
+	mu     sync.Mutex
+	rng    uint64
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &retrier{policy: p, rng: seed}
+}
+
+// next is a SplitMix64 step: cheap, deterministic, and good enough to
+// decorrelate backoff sleeps across concurrent writers.
+func (r *retrier) next() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rng += 0x9e3779b97f4a7c15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// do runs op up to Attempts times, sleeping a jittered exponential backoff
+// between transient failures. It returns the last error and how many retries
+// were spent (for the health counters).
+func (r *retrier) do(op func() error) (retries uint64, err error) {
+	attempts := r.policy.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; ; i++ {
+		err = op()
+		if err == nil || i+1 >= attempts || !isTransient(err) {
+			return retries, err
+		}
+		retries++
+		if d := r.backoff(i); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// backoff computes the i-th retry's sleep: BaseDelay << i, scaled by a jitter
+// factor in [0.5, 1.5), capped at MaxDelay.
+func (r *retrier) backoff(i int) time.Duration {
+	base := r.policy.BaseDelay
+	if base <= 0 {
+		return 0
+	}
+	d := base << uint(i)
+	if d <= 0 { // shift overflow
+		d = r.policy.MaxDelay
+	}
+	jitter := 0.5 + float64(r.next()>>11)/float64(1<<53) // [0.5, 1.5)
+	d = time.Duration(float64(d) * jitter)
+	if r.policy.MaxDelay > 0 && d > r.policy.MaxDelay {
+		d = r.policy.MaxDelay
+	}
+	return d
+}

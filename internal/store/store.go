@@ -1,0 +1,396 @@
+// Package store is the durable tier of the experiment runner's report cache:
+// a content-addressed on-disk map from a canonical job key to an opaque
+// payload (the report codec's bytes). It is built to survive crashes at any
+// instant and bit-rot on disk:
+//
+//   - Commits are atomic: the entry is written to a temp file in the same
+//     directory and renamed into place, so a reader observes either the whole
+//     entry or none of it — never a prefix.
+//   - Every entry carries the SHA-256 of its payload plus its exact length in
+//     a header, verified on every read. A torn, truncated or bit-flipped
+//     entry is quarantined (renamed aside, preserved for forensics), treated
+//     as a miss, and surfaced in the store's health counters.
+//   - Transient I/O errors are retried with bounded jittered backoff;
+//     permanent classes (ENOSPC, corruption) are not.
+//   - Verify walks the whole store, checks every entry, quarantines damage
+//     and sweeps crash-orphaned temp files.
+//
+// The store never serves bytes that fail verification and never deletes a
+// committed entry (quarantine moves, it does not remove), which is the pair
+// of guarantees the fault-injection suite in faults_test.go pins.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// entryMagic is the first header line of every committed entry; bump the
+// version when the on-disk format changes incompatibly.
+const entryMagic = "warpedgates-store v1"
+
+// entryExt and tmpExt are the filename suffixes of committed entries and
+// in-flight temp files. Only *.rep files are ever treated as data; temp files
+// are crash debris by definition and are swept, not quarantined.
+const (
+	entryExt = ".rep"
+	tmpExt   = ".tmp"
+)
+
+// Store is a crash-safe content-addressed blob store. All methods are safe
+// for concurrent use; Verify should not run concurrently with writers (it
+// sweeps temp files and could fail an in-flight commit, which the writer then
+// reports as a write error — consistent, but noisy).
+type Store struct {
+	dir   string
+	fs    FS
+	retry *retrier
+
+	tmpSeq atomic.Uint64 // distinguishes concurrent temp files for one key
+
+	health struct {
+		Hits        atomic.Uint64
+		Misses      atomic.Uint64
+		Writes      atomic.Uint64
+		WriteErrors atomic.Uint64
+		ReadErrors  atomic.Uint64
+		Quarantined atomic.Uint64
+		Retries     atomic.Uint64
+	}
+
+	quarMu sync.Mutex // serializes quarantine sequence-number probing
+}
+
+// Health is a point-in-time snapshot of the store's counters — the "store
+// health report" surfaced by the CLI and asserted by the fault suite.
+type Health struct {
+	Hits        uint64 // verified reads served
+	Misses      uint64 // absent keys (including quarantined-on-read)
+	Writes      uint64 // successful commits
+	WriteErrors uint64 // failed commits (after retries)
+	ReadErrors  uint64 // read infrastructure failures (after retries)
+	Quarantined uint64 // corrupt entries moved aside
+	Retries     uint64 // transient-error retries that were spent
+}
+
+// String renders the health snapshot on one line.
+func (h Health) String() string {
+	return fmt.Sprintf("hits=%d misses=%d writes=%d writeErrs=%d readErrs=%d quarantined=%d retries=%d",
+		h.Hits, h.Misses, h.Writes, h.WriteErrors, h.ReadErrors, h.Quarantined, h.Retries)
+}
+
+// Open returns a store rooted at dir on the real filesystem with the default
+// retry policy, creating the directory tree as needed.
+func Open(dir string) (*Store, error) {
+	return OpenFS(OSFS{}, dir, DefaultRetry())
+}
+
+// OpenFS is Open with an explicit filesystem and retry policy (tests inject
+// internal/faultfs here). Opening is cheap: it only ensures the root exists,
+// so a crashed process's store reopens without any recovery pass — committed
+// entries are self-verifying and temp debris is ignored by readers.
+func OpenFS(fsys FS, dir string, retry RetryPolicy) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	s := &Store{dir: dir, fs: fsys, retry: newRetrier(retry)}
+	if err := fsys.MkdirAll(s.objectsRoot(), 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Health returns a snapshot of the store's counters.
+func (s *Store) Health() Health {
+	return Health{
+		Hits:        s.health.Hits.Load(),
+		Misses:      s.health.Misses.Load(),
+		Writes:      s.health.Writes.Load(),
+		WriteErrors: s.health.WriteErrors.Load(),
+		ReadErrors:  s.health.ReadErrors.Load(),
+		Quarantined: s.health.Quarantined.Load(),
+		Retries:     s.health.Retries.Load(),
+	}
+}
+
+func (s *Store) objectsRoot() string    { return filepath.Join(s.dir, "objects") }
+func (s *Store) quarantineRoot() string { return filepath.Join(s.dir, "quarantine") }
+
+// hashKey content-addresses a key: SHA-256 hex of its bytes.
+func hashKey(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}
+
+// entryPath fans entries out over 256 subdirectories by hash prefix so no
+// single directory grows unboundedly under fleet-scale sweeps.
+func (s *Store) entryPath(hash string) string {
+	return filepath.Join(s.objectsRoot(), hash[:2], hash+entryExt)
+}
+
+// encodeEntry renders the on-disk entry: a human-readable header carrying the
+// full key (forensics and hash-collision paranoia), the payload checksum and
+// the exact payload length, a blank separator line, then the payload bytes.
+func encodeEntry(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\nkey: %s\nsha256: %s\nlen: %d\n\n",
+		entryMagic, key, hex.EncodeToString(sum[:]), len(payload))
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// decodeEntry parses and verifies an entry. wantKey non-empty additionally
+// pins the stored key (Get); Verify passes "" and instead checks the key
+// hashes to the filename. Any mismatch — magic, structure, length, checksum —
+// returns a non-nil error; the caller decides whether that quarantines.
+func decodeEntry(raw []byte, wantKey string) (key string, payload []byte, err error) {
+	sep := bytes.Index(raw, []byte("\n\n"))
+	if sep < 0 {
+		return "", nil, fmt.Errorf("store: entry has no header separator")
+	}
+	header, payload := string(raw[:sep]), raw[sep+2:]
+	lines := strings.Split(header, "\n")
+	if len(lines) != 4 || lines[0] != entryMagic {
+		return "", nil, fmt.Errorf("store: malformed entry header")
+	}
+	key, ok1 := strings.CutPrefix(lines[1], "key: ")
+	sumHex, ok2 := strings.CutPrefix(lines[2], "sha256: ")
+	lenStr, ok3 := strings.CutPrefix(lines[3], "len: ")
+	if !ok1 || !ok2 || !ok3 {
+		return "", nil, fmt.Errorf("store: malformed entry header fields")
+	}
+	wantLen, err := strconv.Atoi(lenStr)
+	if err != nil || wantLen < 0 {
+		return "", nil, fmt.Errorf("store: malformed entry length %q", lenStr)
+	}
+	if len(payload) != wantLen {
+		return "", nil, fmt.Errorf("store: entry payload is %d bytes, header says %d (truncated or padded)", len(payload), wantLen)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return "", nil, fmt.Errorf("store: entry checksum mismatch")
+	}
+	if wantKey != "" && key != wantKey {
+		return "", nil, fmt.Errorf("store: entry holds key %q, want %q", key, wantKey)
+	}
+	return key, payload, nil
+}
+
+// Get returns the payload committed under key. ok is false on a miss — the
+// key was never committed, or its entry failed verification and was
+// quarantined. err reports read infrastructure failures (after retries);
+// corruption is not an error from Get's perspective, because the contract is
+// "a verified payload or a miss", never bad bytes.
+//
+// A checksum mismatch is double-checked with a second read before
+// quarantining: if the two reads disagree byte-for-byte the damage was in
+// flight, not on disk (controller hiccup, torn page cache), and the entry is
+// kept — quarantining a healthy entry on a transient read fault would lose a
+// committed report.
+func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
+	path := s.entryPath(hashKey(key))
+	var first []byte
+	for attempt := 0; attempt < 2; attempt++ {
+		raw, rerr := s.readFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				s.health.Misses.Add(1)
+				return nil, false, nil
+			}
+			s.health.ReadErrors.Add(1)
+			return nil, false, fmt.Errorf("store: reading %s: %w", path, rerr)
+		}
+		_, payload, derr := decodeEntry(raw, key)
+		if derr == nil {
+			if attempt > 0 {
+				s.health.Retries.Add(1)
+			}
+			s.health.Hits.Add(1)
+			return payload, true, nil
+		}
+		if attempt == 0 {
+			first = raw
+			continue
+		}
+		if !bytes.Equal(first, raw) {
+			// The two reads disagree: in-flight corruption. The entry itself
+			// may be fine; count the re-read as a spent retry and give up on
+			// this Get without quarantining.
+			s.health.Retries.Add(1)
+			s.health.ReadErrors.Add(1)
+			return nil, false, fmt.Errorf("store: unstable reads of %s: %w", path, derr)
+		}
+		// Stable corruption: the bytes on disk are damaged.
+		s.quarantine(path)
+		s.health.Misses.Add(1)
+		return nil, false, nil
+	}
+	panic("unreachable")
+}
+
+// Put commits payload under key: temp file in the entry's own directory, then
+// rename. On any failure the temp file is removed best-effort and the final
+// path is untouched, so a failed or crashed Put can never damage a previously
+// committed entry for the same key.
+func (s *Store) Put(key string, payload []byte) error {
+	hash := hashKey(key)
+	final := s.entryPath(hash)
+	dir := filepath.Dir(final)
+	entry := encodeEntry(key, payload)
+	tmp := filepath.Join(dir, fmt.Sprintf("%s.%d%s", hash, s.tmpSeq.Add(1), tmpExt))
+
+	err := func() error {
+		if err := s.fsOp(func() error { return s.fs.MkdirAll(dir, 0o755) }); err != nil {
+			return fmt.Errorf("store: creating %s: %w", dir, err)
+		}
+		if err := s.fsOp(func() error { return s.fs.WriteFile(tmp, entry, 0o644) }); err != nil {
+			return fmt.Errorf("store: writing %s: %w", tmp, err)
+		}
+		if err := s.fsOp(func() error { return s.fs.Rename(tmp, final) }); err != nil {
+			return fmt.Errorf("store: committing %s: %w", final, err)
+		}
+		return nil
+	}()
+	if err != nil {
+		s.fs.Remove(tmp) // best-effort; Verify sweeps survivors
+		s.health.WriteErrors.Add(1)
+		return err
+	}
+	s.health.Writes.Add(1)
+	return nil
+}
+
+// readFile is ReadFile under the retry policy.
+func (s *Store) readFile(path string) ([]byte, error) {
+	var raw []byte
+	err := s.fsOp(func() error {
+		var err error
+		raw, err = s.fs.ReadFile(path)
+		return err
+	})
+	return raw, err
+}
+
+// fsOp runs one filesystem operation under the retry policy, folding spent
+// retries into the health counters.
+func (s *Store) fsOp(op func() error) error {
+	retries, err := s.retry.do(op)
+	if retries > 0 {
+		s.health.Retries.Add(retries)
+	}
+	return err
+}
+
+// quarantine moves a damaged entry aside, preserving the bytes for autopsy.
+// Sequence-numbered destinations keep repeated damage to one key from
+// overwriting earlier evidence. Failures degrade to counting: the entry then
+// stays in place and keeps reading as a miss via its failed checksum.
+func (s *Store) quarantine(path string) {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	if err := s.fs.MkdirAll(s.quarantineRoot(), 0o755); err != nil {
+		s.health.ReadErrors.Add(1)
+		return
+	}
+	base := filepath.Base(path)
+	for seq := 0; ; seq++ {
+		dst := filepath.Join(s.quarantineRoot(), fmt.Sprintf("%s.%d", base, seq))
+		if _, err := s.fs.Stat(dst); err == nil {
+			continue
+		}
+		if err := s.fs.Rename(path, dst); err != nil {
+			s.health.ReadErrors.Add(1)
+			return
+		}
+		s.health.Quarantined.Add(1)
+		return
+	}
+}
+
+// VerifyReport is the outcome of a Verify scrub walk.
+type VerifyReport struct {
+	Scanned     int      // committed entries examined
+	OK          int      // entries whose checksum verified
+	Quarantined []string // entry filenames moved to quarantine this walk
+	TempsSwept  int      // crash-orphaned temp files removed
+	Bytes       int64    // total verified payload bytes
+}
+
+// String renders the scrub outcome on one line.
+func (v VerifyReport) String() string {
+	return fmt.Sprintf("scanned=%d ok=%d quarantined=%d tempsSwept=%d payloadBytes=%d",
+		v.Scanned, v.OK, len(v.Quarantined), v.TempsSwept, v.Bytes)
+}
+
+// Verify walks every committed entry, re-verifies its checksum and the
+// key→filename binding, quarantines anything damaged, and sweeps temp files
+// left by crashed writers. It returns the scrub report; err covers walk
+// infrastructure failures only (damaged entries are reported, not errors).
+func (s *Store) Verify() (VerifyReport, error) {
+	var rep VerifyReport
+	root := s.objectsRoot()
+	subdirs, err := s.fs.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rep, nil
+		}
+		return rep, fmt.Errorf("store: verify: %w", err)
+	}
+	// Sort for a deterministic walk (ReadDir is sorted for OSFS, but the FS
+	// contract does not promise it).
+	sort.Slice(subdirs, func(i, j int) bool { return subdirs[i].Name() < subdirs[j].Name() })
+	for _, sub := range subdirs {
+		if !sub.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, sub.Name())
+		entries, err := s.fs.ReadDir(dir)
+		if err != nil {
+			return rep, fmt.Errorf("store: verify %s: %w", dir, err)
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+		for _, ent := range entries {
+			name := ent.Name()
+			path := filepath.Join(dir, name)
+			if strings.HasSuffix(name, tmpExt) {
+				if s.fs.Remove(path) == nil {
+					rep.TempsSwept++
+				}
+				continue
+			}
+			if !strings.HasSuffix(name, entryExt) {
+				continue
+			}
+			rep.Scanned++
+			raw, err := s.readFile(path)
+			if err != nil {
+				// Unreadable is not provably corrupt; count it and leave the
+				// entry in place for a later walk.
+				s.health.ReadErrors.Add(1)
+				continue
+			}
+			key, payload, derr := decodeEntry(raw, "")
+			if derr != nil || hashKey(key)+entryExt != name {
+				s.quarantine(path)
+				rep.Quarantined = append(rep.Quarantined, name)
+				continue
+			}
+			rep.OK++
+			rep.Bytes += int64(len(payload))
+		}
+	}
+	return rep, nil
+}

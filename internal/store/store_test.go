@@ -1,0 +1,287 @@
+package store_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"warpedgates/internal/store"
+)
+
+// openT opens a store over a fresh temp dir, failing the test on error.
+func openT(t *testing.T) (*store.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, dir
+}
+
+// entryFile returns the single committed *.rep file under dir, failing the
+// test unless exactly one exists.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.rep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("want exactly 1 committed entry under %s, found %d: %v", dir, len(matches), matches)
+	}
+	return matches[0]
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s, _ := openT(t)
+	keys := []string{"wg-job v1 bench=hotspot", "wg-job v1 bench=bfs", "short"}
+	for i, k := range keys {
+		payload := bytes.Repeat([]byte{byte('a' + i)}, 100*(i+1))
+		if err := s.Put(k, payload); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+		got, ok, err := s.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%q) = ok=%v err=%v, want hit", k, ok, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("Get(%q) returned %d bytes, want %d identical bytes", k, len(got), len(payload))
+		}
+	}
+	h := s.Health()
+	if h.Hits != 3 || h.Writes != 3 || h.Misses != 0 || h.Quarantined != 0 {
+		t.Fatalf("health after roundtrip: %s", h)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s, _ := openT(t)
+	got, ok, err := s.Get("never committed")
+	if err != nil || ok || got != nil {
+		t.Fatalf("Get(missing) = %v, %v, %v; want nil, false, nil", got, ok, err)
+	}
+	if h := s.Health(); h.Misses != 1 {
+		t.Fatalf("miss not counted: %s", h)
+	}
+}
+
+func TestPutOverwriteSameKey(t *testing.T) {
+	s, dir := openT(t)
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("Get after overwrite = %q, %v, %v; want v2 hit", got, ok, err)
+	}
+	entryFile(t, dir) // still exactly one committed file for the key
+}
+
+// TestReopenSurvives is the basic durability contract: a committed entry is
+// served by a brand-new store instance over the same directory.
+func TestReopenSurvives(t *testing.T) {
+	s, dir := openT(t)
+	if err := s.Put("persist", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Get("persist")
+	if err != nil || !ok || string(got) != "payload" {
+		t.Fatalf("reopened Get = %q, %v, %v; want payload hit", got, ok, err)
+	}
+}
+
+func TestOpenEmptyDirRejected(t *testing.T) {
+	if _, err := store.Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded, want error")
+	}
+}
+
+// corruptEntry flips one byte in the middle of the committed entry's payload
+// region on disk.
+func corruptEntry(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptEntryQuarantinedOnRead pins the central read guarantee: a
+// bit-flipped entry is never served — it reads as a miss, and the damaged
+// bytes move to quarantine (preserved, not deleted).
+func TestCorruptEntryQuarantinedOnRead(t *testing.T) {
+	s, dir := openT(t)
+	if err := s.Put("victim", bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(t, dir)
+	corruptEntry(t, path)
+
+	got, ok, err := s.Get("victim")
+	if err != nil || ok || got != nil {
+		t.Fatalf("Get(corrupt) = %v, %v, %v; want clean miss", got, ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still at %s after quarantine", path)
+	}
+	quar, err := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if err != nil || len(quar) != 1 {
+		t.Fatalf("quarantine dir holds %v (err %v), want exactly the moved entry", quar, err)
+	}
+	h := s.Health()
+	if h.Quarantined != 1 || h.Misses != 1 || h.Hits != 0 {
+		t.Fatalf("health after quarantine: %s", h)
+	}
+	// The key now simply misses; nothing further is quarantined.
+	if _, ok, err := s.Get("victim"); ok || err != nil {
+		t.Fatalf("second Get = ok=%v err=%v, want plain miss", ok, err)
+	}
+	if h := s.Health(); h.Quarantined != 1 {
+		t.Fatalf("second miss quarantined again: %s", h)
+	}
+}
+
+// TestTruncatedEntryQuarantined covers the torn-tail shape of damage: the
+// header's exact length field catches a truncated payload even when the
+// truncation point leaves a valid checksum line intact.
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	s, dir := openT(t)
+	if err := s.Put("victim", bytes.Repeat([]byte("y"), 128)); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("victim"); ok || err != nil {
+		t.Fatalf("Get(truncated) = ok=%v err=%v, want clean miss", ok, err)
+	}
+	if h := s.Health(); h.Quarantined != 1 {
+		t.Fatalf("truncated entry not quarantined: %s", h)
+	}
+}
+
+// TestVerifyScrub exercises the offline walk: it re-verifies good entries,
+// quarantines a corrupted one, sweeps crash-orphaned temp files, and reports
+// all of it.
+func TestVerifyScrub(t *testing.T) {
+	s, dir := openT(t)
+	if err := s.Put("good-1", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good-2", []byte("bbbbbb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bad", bytes.Repeat([]byte("c"), 32)); err != nil {
+		t.Fatal(err)
+	}
+	// Find and damage exactly the "bad" entry.
+	var badPath string
+	matches, _ := filepath.Glob(filepath.Join(dir, "objects", "*", "*.rep"))
+	for _, m := range matches {
+		raw, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(raw, []byte("key: bad\n")) {
+			badPath = m
+		}
+	}
+	if badPath == "" {
+		t.Fatal("could not locate the 'bad' entry on disk")
+	}
+	corruptEntry(t, badPath)
+	// Plant crash debris: an orphaned temp file next to an entry.
+	tmp := filepath.Join(filepath.Dir(badPath), "deadbeef.1.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Scanned != 3 || rep.OK != 2 || len(rep.Quarantined) != 1 || rep.TempsSwept != 1 {
+		t.Fatalf("Verify report %s, want scanned=3 ok=2 quarantined=1 tempsSwept=1", rep)
+	}
+	if got := rep.Quarantined[0]; got != filepath.Base(badPath) {
+		t.Fatalf("quarantined %q, want %q", got, filepath.Base(badPath))
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("temp debris survived the sweep")
+	}
+	// The two good entries still serve.
+	for _, k := range []string{"good-1", "good-2"} {
+		if _, ok, err := s.Get(k); !ok || err != nil {
+			t.Fatalf("Get(%q) after scrub = ok=%v err=%v", k, ok, err)
+		}
+	}
+	// A second walk is clean: quarantine does not re-fire.
+	rep2, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Scanned != 2 || rep2.OK != 2 || len(rep2.Quarantined) != 0 {
+		t.Fatalf("second Verify %s, want a clean 2-entry walk", rep2)
+	}
+}
+
+// TestVerifyCatchesMisfiledEntry pins the key→filename binding: an entry whose
+// content is internally consistent but lives under the wrong hash name (e.g.
+// after a botched manual copy) is quarantined, because serving it would return
+// the wrong job's report.
+func TestVerifyCatchesMisfiledEntry(t *testing.T) {
+	s, dir := openT(t)
+	if err := s.Put("original", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(t, dir)
+	wrong := filepath.Join(filepath.Dir(path), strings.Repeat("ab", 32)+".rep")
+	if err := os.Rename(path, wrong); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.OK != 0 {
+		t.Fatalf("Verify on misfiled entry: %s, want it quarantined", rep)
+	}
+}
+
+// TestQuarantinePreservesEvidence: repeated damage to the same key stacks
+// sequence-numbered quarantine files instead of overwriting the first.
+func TestQuarantinePreservesEvidence(t *testing.T) {
+	s, dir := openT(t)
+	for i := 0; i < 2; i++ {
+		if err := s.Put("k", bytes.Repeat([]byte("z"), 40)); err != nil {
+			t.Fatal(err)
+		}
+		corruptEntry(t, entryFile(t, dir))
+		if _, ok, _ := s.Get("k"); ok {
+			t.Fatal("corrupt entry served")
+		}
+	}
+	quar, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if len(quar) != 2 {
+		t.Fatalf("quarantine holds %d files, want both damage instances preserved: %v", len(quar), quar)
+	}
+}
