@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-short bench-compare bench-go check verify store-faults ci
+.PHONY: build test race vet bench bench-short bench-compare bench-go check verify store-faults serve-test ci
 
 build:
 	$(GO) build ./...
@@ -75,4 +75,13 @@ store-faults:
 	$(GO) test -race ./internal/store/ ./internal/faultfs/
 	$(GO) test -race -run 'TestRunCtx|TestMaxWall|TestRunMany|TestPanic|TestLRU|TestSingleflight|TestRunnerStore' ./internal/core/
 
-ci: build vet test race verify store-faults
+# The HTTP service suite under the race detector: the table-driven API
+# contract (status codes, quota/backpressure 429s, drain 503s), the
+# end-to-end lifecycle test (served report bytes equal direct simulation,
+# across a server restart with zero re-simulation), and the
+# cancellation/deadline semantics (SSE disconnect, deadline_ms, forced
+# drain).
+serve-test:
+	$(GO) test -race ./internal/serve/
+
+ci: build vet test race verify store-faults serve-test

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// floorReport builds a benchReport with the given GOMAXPROCS and an optional
+// 2-worker scaling point.
+func floorReport(gomaxprocs int, w2Speedup float64, withW2 bool) *benchReport {
+	rep := &benchReport{GOMAXPROCS: gomaxprocs}
+	rep.IntraRunScaling = []scalingPoint{{Workers: 1, Speedup: 1.0}}
+	if withW2 {
+		rep.IntraRunScaling = append(rep.IntraRunScaling, scalingPoint{Workers: 2, Speedup: w2Speedup})
+	}
+	rep.IntraRunScaling = append(rep.IntraRunScaling, scalingPoint{Workers: 4, Speedup: 2.1})
+	return rep
+}
+
+// TestFloorGateExitCodes pins the three-way exit-code contract of the bench
+// -floor gate end to end through checkScalingFloor and exitCode: 0 when the
+// gate measured and passed, 1 when it measured and failed (or could not find
+// its measurement), 3 when the host cannot measure parallel scaling at all.
+// CI keys off these codes (3 is a warning, not a failure), so the mapping is
+// load-bearing.
+func TestFloorGateExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		rep      *benchReport
+		floor    float64
+		wantExit int
+		wantSkip bool // error wraps errFloorSkipped
+	}{
+		{
+			name:     "no floor requested passes",
+			rep:      floorReport(8, 0.5, true),
+			floor:    0,
+			wantExit: 0,
+		},
+		{
+			name:     "w2 at the floor passes",
+			rep:      floorReport(8, 1.10, true),
+			floor:    1.10,
+			wantExit: 0,
+		},
+		{
+			name:     "w2 above the floor passes",
+			rep:      floorReport(8, 1.45, true),
+			floor:    1.10,
+			wantExit: 0,
+		},
+		{
+			name:     "w2 below the floor fails",
+			rep:      floorReport(8, 0.95, true),
+			floor:    1.10,
+			wantExit: 1,
+		},
+		{
+			name:     "single-core host self-skips on exit 3",
+			rep:      floorReport(1, 0, false),
+			floor:    1.10,
+			wantExit: 3,
+			wantSkip: true,
+		},
+		{
+			name:     "missing 2-worker point is a real failure not a skip",
+			rep:      floorReport(8, 0, false),
+			floor:    1.10,
+			wantExit: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkScalingFloor(tc.rep, tc.floor)
+			if got := exitCode(err); got != tc.wantExit {
+				t.Fatalf("exitCode(%v) = %d, want %d", err, got, tc.wantExit)
+			}
+			if got := errors.Is(err, errFloorSkipped); got != tc.wantSkip {
+				t.Fatalf("errors.Is(err, errFloorSkipped) = %t, want %t (err: %v)", got, tc.wantSkip, err)
+			}
+		})
+	}
+}
+
+// TestExitCode pins the generic error → exit status mapping main uses.
+func TestExitCode(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Fatalf("exitCode(nil) = %d, want 0", got)
+	}
+	if got := exitCode(errors.New("boom")); got != 1 {
+		t.Fatalf("exitCode(plain error) = %d, want 1", got)
+	}
+	if got := exitCode(errFloorSkipped); got != 3 {
+		t.Fatalf("exitCode(errFloorSkipped) = %d, want 3", got)
+	}
+	wrapped := fmt.Errorf("%w: GOMAXPROCS=1 < 2, cannot measure parallel scaling", errFloorSkipped)
+	if got := exitCode(wrapped); got != 3 {
+		t.Fatalf("exitCode(wrapped errFloorSkipped) = %d, want 3", got)
+	}
+}

@@ -86,13 +86,21 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "warpedgates: %v\n", err)
-		// The bench floor gate's self-skip exits on its own code so automation
-		// can tell "measured and passed" (0) from "host cannot measure" (3)
-		// from a real failure (1).
-		if errors.Is(err, errFloorSkipped) {
-			os.Exit(3)
-		}
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode maps a command error to the process exit status. The bench floor
+// gate's self-skip gets its own code so automation can tell "measured and
+// passed" (0) from "host cannot measure" (3) from a real failure (1).
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errFloorSkipped):
+		return 3
+	default:
+		return 1
 	}
 }
 

@@ -80,6 +80,11 @@ type Runner struct {
 	// entries join only once their report lands, so eviction can never drop
 	// an entry a waiter is blocked on before its done channel closes.
 	lru list.List
+	// canon indexes completed entries by their canonical job-key string, the
+	// address the durable store and the HTTP service use. Entries join on
+	// successful completion and leave on eviction, so every resident value is
+	// a finished report — CachedReport never blocks.
+	canon map[string]*cacheEntry
 }
 
 // ErrDeadline is wrapped by runs killed by the MaxWallTime watchdog; detect
@@ -111,7 +116,10 @@ type cacheEntry struct {
 	rep  *sim.Report
 	err  error
 	key  runKey
-	elem *list.Element
+	// canonKey is key.canonical(), computed once when the entry completes and
+	// joins the canon index; it keys the entry's removal on eviction.
+	canonKey string
+	elem     *list.Element
 }
 
 // runKey identifies a unique simulation. IntraRunWorkers, BatchCycles and
@@ -181,7 +189,12 @@ func JobKey(bench string, cfg config.Config, scale float64) string {
 // it validated on every RunCfg (non-finite values would poison runKey: NaN
 // never equals itself, so a NaN scale could never hit the cache).
 func NewRunner(base config.Config) *Runner {
-	return &Runner{Base: base, Scale: 1.0, cache: make(map[runKey]*cacheEntry)}
+	return &Runner{
+		Base:  base,
+		Scale: 1.0,
+		cache: make(map[runKey]*cacheEntry),
+		canon: make(map[string]*cacheEntry),
+	}
 }
 
 // DefaultRunner returns a runner over the paper's GTX480 baseline.
@@ -260,12 +273,32 @@ func (r *Runner) RunCfgCtx(ctx context.Context, bench string, cfg config.Config)
 	if e.err != nil {
 		delete(r.cache, key)
 	} else {
+		e.canonKey = key.canonical()
+		r.canon[e.canonKey] = e
 		e.elem = r.lru.PushFront(e)
 		r.evictLocked()
 	}
 	r.mu.Unlock()
 	close(e.done)
 	return e.rep, e.err
+}
+
+// CachedReport returns the completed report resident in the in-memory tier
+// under the given canonical job key (see JobKey), or false when the key is
+// in flight, evicted or unknown. It never blocks and never consults the
+// durable store — it is the L1 half of the service layer's read-through
+// report path; the caller falls back to the store on a miss.
+func (r *Runner) CachedReport(key string) (*sim.Report, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.canon[key]
+	if !ok {
+		return nil, false
+	}
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+	}
+	return e.rep, true
 }
 
 // evictLocked trims the completed-entry LRU to MaxCachedReports, dropping the
@@ -280,6 +313,7 @@ func (r *Runner) evictLocked() {
 	for r.lru.Len() > r.MaxCachedReports {
 		old := r.lru.Remove(r.lru.Back()).(*cacheEntry)
 		delete(r.cache, old.key)
+		delete(r.canon, old.canonKey)
 	}
 }
 

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"warpedgates/internal/core"
+)
+
+// slowJob is a workload that runs for minutes uncanceled (the scale-50
+// hotspot the crash-safety suite uses for the same purpose), so every test
+// below observes the job mid-flight.
+const slowJob = `{"bench":"hotspot","technique":"WarpedGates","sms":2,"scale":50}`
+
+// submitOne submits a job and returns its initial status.
+func submitOne(t *testing.T, ts *httptest.Server, body string) JobStatus {
+	t.Helper()
+	resp, raw := doJSON(t, ts, http.MethodPost, "/v1/jobs", body, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal([]byte(raw), &st); err != nil {
+		t.Fatalf("submit response %q: %v", raw, err)
+	}
+	return st
+}
+
+// TestSSEDisconnectCancelsJob pins the stream-as-attachment semantics: a
+// watcher that opens an SSE stream on a running job and disconnects cancels
+// the job's context with ErrClientGone as the cause, and the terminal status
+// classifies it as error_kind "client_gone".
+func TestSSEDisconnectCancelsJob(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	st := submitOne(t, ts, slowJob)
+	waitState(t, ts, st.ID, StateRunning)
+
+	// Open the stream with a cancelable request context and read the first
+	// event, which guarantees the server has the watcher subscribed before we
+	// disconnect.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("opening stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var first string
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			first = strings.TrimPrefix(line, "data: ")
+			break
+		}
+	}
+	if first == "" {
+		t.Fatalf("no SSE event before disconnect: %v", sc.Err())
+	}
+	var ev JobStatus
+	if err := json.Unmarshal([]byte(first), &ev); err != nil {
+		t.Fatalf("SSE event %q: %v", first, err)
+	}
+	if ev.ID != st.ID {
+		t.Fatalf("SSE event for job %s, want %s", ev.ID, st.ID)
+	}
+
+	cancel() // client disconnects mid-stream
+
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("job ended %s (%s), want canceled", final.State, final.Error)
+	}
+	if final.ErrorKind != "client_gone" {
+		t.Fatalf("error_kind = %q, want client_gone", final.ErrorKind)
+	}
+	// White box: the registry job's terminal error carries the exact cause.
+	j := s.lookup(st.ID)
+	if j == nil {
+		t.Fatal("job evicted from registry")
+	}
+	if err := j.Err(); !errors.Is(err, ErrClientGone) {
+		t.Fatalf("job error = %v, want ErrClientGone cause", err)
+	}
+	// A canceled run is never cached, so the key is retryable and no report
+	// exists for it.
+	resp2, _ := doJSON(t, ts, http.MethodGet, "/v1/reports/"+st.ID, "", nil)
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("report after cancellation: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestPollingNeverCancels is the counterpart: a polling client coming and
+// going must not cancel the job — only SSE watchers are attachments.
+func TestPollingNeverCancels(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	st := submitOne(t, ts, slowJob)
+	waitState(t, ts, st.ID, StateRunning)
+	for i := 0; i < 5; i++ {
+		doJSON(t, ts, http.MethodGet, "/v1/jobs/"+st.ID, "", nil)
+	}
+	time.Sleep(50 * time.Millisecond)
+	j := s.lookup(st.ID)
+	if j == nil {
+		t.Fatal("job evicted from registry")
+	}
+	if got := j.State(); got != StateRunning {
+		t.Fatalf("job state after polling = %s, want still running (err: %v)", got, j.Err())
+	}
+}
+
+// TestDeadlineSurfacesInStatus pins the per-job deadline path: a deadline_ms
+// far below the job's runtime fails the job with core.ErrDeadline as the
+// cause, surfaced in the terminal status JSON as error_kind "deadline".
+func TestDeadlineSurfacesInStatus(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	st := submitOne(t, ts, `{"bench":"hotspot","technique":"WarpedGates","sms":2,"scale":50,"deadline_ms":100}`)
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("job ended %s (%s), want failed", final.State, final.Error)
+	}
+	if final.ErrorKind != "deadline" {
+		t.Fatalf("error_kind = %q (error %q), want deadline", final.ErrorKind, final.Error)
+	}
+	j := s.lookup(st.ID)
+	if j == nil {
+		t.Fatal("job evicted from registry")
+	}
+	if err := j.Err(); !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("job error = %v, want core.ErrDeadline", err)
+	}
+	// A deadline failure is retryable: resubmitting the same key is accepted
+	// as a fresh job rather than collapsing onto the failed one.
+	resp, raw := doJSON(t, ts, http.MethodPost, "/v1/jobs", `{"bench":"hotspot","technique":"WarpedGates","sms":2,"scale":50,"deadline_ms":100}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmission after deadline failure: status %d, body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestMaxDeadlineClamp pins the server-side clamp: a request asking for more
+// than MaxDeadline is bounded by it (observed through the job failing at the
+// clamped deadline rather than running for the requested one).
+func TestMaxDeadlineClamp(t *testing.T) {
+	_, ts := newTestServer(t, func(o *Options) { o.MaxDeadline = 100 * time.Millisecond })
+	st := submitOne(t, ts, `{"bench":"hotspot","technique":"WarpedGates","sms":2,"scale":50,"deadline_ms":600000}`)
+	start := time.Now()
+	final := waitTerminal(t, ts, st.ID)
+	if final.ErrorKind != "deadline" {
+		t.Fatalf("error_kind = %q, want deadline (state %s, error %q)", final.ErrorKind, final.State, final.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("clamped job ran %s, clamp did not take", elapsed)
+	}
+}
+
+// TestDrainCancelsInFlight pins forced-drain semantics: when the drain grace
+// expires, in-flight jobs are canceled with ErrDraining and classified as
+// error_kind "draining".
+func TestDrainCancelsInFlight(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	st := submitOne(t, ts, slowJob)
+	waitState(t, ts, st.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want deadline exceeded", err)
+	}
+	j := s.lookup(st.ID)
+	if j == nil {
+		t.Fatal("job evicted from registry")
+	}
+	if got := j.State(); got != StateCanceled {
+		t.Fatalf("job state after forced drain = %s, want canceled", got)
+	}
+	if err := j.Err(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("job error = %v, want ErrDraining", err)
+	}
+	if st := j.status(); st.ErrorKind != "draining" {
+		t.Fatalf("error_kind = %q, want draining", st.ErrorKind)
+	}
+}
+
+// TestSSEStreamsToCompletion checks the happy-path stream: a fast job's
+// watcher receives a final "done" event and the stream ends cleanly without
+// canceling anything.
+func TestSSEStreamsToCompletion(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	st := submitOne(t, ts, smallJob)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("opening stream: %v", err)
+	}
+	defer resp.Body.Close()
+
+	var last JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+				t.Fatalf("SSE event %q: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if last.State != StateDone {
+		t.Fatalf("final streamed state = %s (%s), want done", last.State, last.Error)
+	}
+	if last.Report == "" {
+		t.Fatal("final streamed status carries no report path")
+	}
+}

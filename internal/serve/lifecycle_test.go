@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"warpedgates/internal/core"
+	"warpedgates/internal/kernels"
+	"warpedgates/internal/sim"
+	"warpedgates/internal/store"
+)
+
+// lifecycleScale keeps the full benchmark × technique matrix fast enough for
+// the race detector while still exercising every kernel shape end to end
+// (mirrors the golden-matrix precedent).
+const lifecycleScale = 0.05
+
+// TestLifecycleAcrossRestart is the end-to-end contract of the service: submit
+// the whole smoke matrix over HTTP, fetch every report, and check the bytes
+// equal a direct Runner.Run through the same codec; then restart the server on
+// the same store directory and re-fetch every report cold — byte-identical
+// again, with zero re-simulation.
+func TestLifecycleAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix lifecycle test")
+	}
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	opts := testOptions()
+	opts.Store = st
+	opts.Workers = 4
+	opts.QueueDepth = 256 // hold the whole matrix; admission is not under test here
+
+	s1, err := NewServer(opts)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts1 := httptest.NewServer(s1)
+
+	type cell struct {
+		bench string
+		tech  core.Technique
+		id    string
+	}
+	var cells []cell
+	for _, bench := range kernels.BenchmarkNames {
+		for _, tech := range core.AllTechniques() {
+			body, _ := json.Marshal(JobRequest{
+				Bench: bench, Technique: tech.String(), SMs: 2, Scale: lifecycleScale,
+			})
+			resp, raw := doJSON(t, ts1, http.MethodPost, "/v1/jobs", string(body), nil)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit %s/%s: status %d, body %s", bench, tech, resp.StatusCode, raw)
+			}
+			var jst JobStatus
+			if err := json.Unmarshal([]byte(raw), &jst); err != nil {
+				t.Fatalf("submit %s/%s response %q: %v", bench, tech, raw, err)
+			}
+			cells = append(cells, cell{bench, tech, jst.ID})
+		}
+	}
+
+	// An independent runner over the same base machine is the ground truth:
+	// the served payload must be byte-identical to a direct simulation
+	// encoded through the same codec.
+	direct := core.NewRunner(opts.withDefaults().Base)
+	direct.Scale = lifecycleScale
+	want := make(map[string][]byte, len(cells))
+	for _, c := range cells {
+		cfg := c.tech.Apply(opts.withDefaults().Base)
+		cfg.NumSMs = 2
+		rep, err := direct.RunCfg(c.bench, cfg)
+		if err != nil {
+			t.Fatalf("direct %s/%s: %v", c.bench, c.tech, err)
+		}
+		data, err := sim.EncodeReport(rep)
+		if err != nil {
+			t.Fatalf("encoding direct %s/%s: %v", c.bench, c.tech, err)
+		}
+		want[c.id] = data
+	}
+
+	for _, c := range cells {
+		final := waitTerminal(t, ts1, c.id)
+		if final.State != StateDone {
+			t.Fatalf("%s/%s ended %s (%s)", c.bench, c.tech, final.State, final.Error)
+		}
+		if final.Report != "/v1/reports/"+c.id {
+			t.Fatalf("%s/%s report path = %q", c.bench, c.tech, final.Report)
+		}
+		resp, raw := doJSON(t, ts1, http.MethodGet, final.Report, "", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fetch %s/%s: status %d, body %s", c.bench, c.tech, resp.StatusCode, raw)
+		}
+		if !bytes.Equal([]byte(raw), want[c.id]) {
+			t.Fatalf("%s/%s: served report differs from direct simulation (%d vs %d bytes)",
+				c.bench, c.tech, len(raw), len(want[c.id]))
+		}
+		if et := resp.Header.Get("ETag"); et != `"`+c.id+`"` {
+			t.Fatalf("%s/%s ETag = %s", c.bench, c.tech, et)
+		}
+	}
+	if n := s1.Simulations(); n != uint64(len(cells)) {
+		t.Fatalf("first server ran %d simulations, want %d", n, len(cells))
+	}
+
+	// Restart: a fresh process (fresh registry, fresh in-memory tiers) over
+	// the same store directory must serve every report cold, byte-identical,
+	// without running a single simulation.
+	ts1.Close()
+	s1.Close()
+	s2, err := NewServer(opts)
+	if err != nil {
+		t.Fatalf("NewServer (restart): %v", err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer func() {
+		ts2.Close()
+		s2.Close()
+	}()
+	for _, c := range cells {
+		resp, raw := doJSON(t, ts2, http.MethodGet, "/v1/reports/"+c.id, "", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold fetch %s/%s: status %d, body %s", c.bench, c.tech, resp.StatusCode, raw)
+		}
+		if !bytes.Equal([]byte(raw), want[c.id]) {
+			t.Fatalf("cold fetch %s/%s: bytes differ from direct simulation", c.bench, c.tech)
+		}
+	}
+	if n := s2.Simulations(); n != 0 {
+		t.Fatalf("restarted server ran %d simulations serving cold reports, want 0", n)
+	}
+
+	// Resubmitting a stored job on the restarted server should also complete
+	// without re-simulating: the runner's read-through store tier answers it.
+	body, _ := json.Marshal(JobRequest{
+		Bench: cells[0].bench, Technique: cells[0].tech.String(), SMs: 2, Scale: lifecycleScale,
+	})
+	final := submitAndWait(t, ts2, string(body))
+	if final.State != StateDone {
+		t.Fatalf("warm resubmission ended %s (%s)", final.State, final.Error)
+	}
+	if n := s2.Simulations(); n != 0 {
+		t.Fatalf("warm resubmission re-simulated (%d runs), want store hit", n)
+	}
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is the per-client token-bucket table behind POST /v1/jobs: each
+// client may burst up to `burst` submissions and sustain `rate` per second;
+// beyond that, submissions answer 429 with a Retry-After hint. Buckets are
+// lazily created per client and reaped once full again, so the table stays
+// proportional to the set of currently throttled clients.
+type quotas struct {
+	rate  float64 // tokens per second; <= 0 means no refill
+	burst float64 // bucket capacity; < 0 disables quotas entirely
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuotas builds the table. A negative burst disables enforcement.
+func newQuotas(rate float64, burst int) *quotas {
+	return &quotas{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// take spends one token for the client. When denied, wait estimates how long
+// until a token accrues (the Retry-After hint); with no refill configured
+// the wait is a nominal second.
+func (q *quotas) take(client string, now time.Time) (ok bool, wait time.Duration) {
+	if q.burst < 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	}
+	if q.rate > 0 {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if q.rate <= 0 {
+		return false, time.Second
+	}
+	q.reapLocked(now)
+	return false, time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+}
+
+// reapLocked drops buckets that have fully refilled — they are
+// indistinguishable from absent ones — bounding the table by the set of
+// clients with spent quota. Runs on the deny path only, so the common
+// admit path stays a map lookup and an add.
+func (q *quotas) reapLocked(now time.Time) {
+	if len(q.buckets) < 1024 {
+		return
+	}
+	for c, b := range q.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*q.rate >= q.burst {
+			delete(q.buckets, c)
+		}
+	}
+}
+
+// clients returns the number of tracked quota buckets (for /v1/statusz).
+func (q *quotas) clients() int {
+	if q.burst < 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

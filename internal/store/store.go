@@ -134,6 +134,50 @@ func hashKey(key string) string {
 	return hex.EncodeToString(h[:])
 }
 
+// HashKey exposes the store's content address for a key: the lowercase
+// SHA-256 hex the entry is filed under. The service layer uses it as the
+// stable report identifier clients fetch by, so the same job always maps to
+// the same URL — across processes, machines and server restarts.
+func HashKey(key string) string { return hashKey(key) }
+
+// ValidHash reports whether s is a well-formed content address (64 lowercase
+// hex characters). GetByHash rejects anything else, which also keeps
+// attacker-controlled URL segments from ever reaching a filepath join.
+func ValidHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// GetByHash is the read-through accessor for callers that hold a content
+// address rather than the raw key — the HTTP report endpoint, whose clients
+// fetch by the hash a submit response handed them, possibly from a process
+// that never saw the original submission. Verification matches Get (full
+// checksum + length, unstable-read double-check, quarantine on stable
+// corruption) and additionally re-checks the stored key's hash against the
+// requested address, so a colliding or mis-filed entry reads as corrupt
+// rather than as someone else's report.
+func (s *Store) GetByHash(hash string) (payload []byte, ok bool, err error) {
+	if !ValidHash(hash) {
+		s.health.Misses.Add(1)
+		return nil, false, nil
+	}
+	return s.getVerified(s.entryPath(hash), func(raw []byte) ([]byte, error) {
+		key, payload, derr := decodeEntry(raw, "")
+		if derr == nil && hashKey(key) != hash {
+			derr = fmt.Errorf("store: entry holds key hashing to %s, want %s", hashKey(key), hash)
+		}
+		return payload, derr
+	})
+}
+
 // entryPath fans entries out over 256 subdirectories by hash prefix so no
 // single directory grows unboundedly under fleet-scale sweeps.
 func (s *Store) entryPath(hash string) string {
@@ -201,7 +245,17 @@ func decodeEntry(raw []byte, wantKey string) (key string, payload []byte, err er
 // kept — quarantining a healthy entry on a transient read fault would lose a
 // committed report.
 func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
-	path := s.entryPath(hashKey(key))
+	return s.getVerified(s.entryPath(hashKey(key)), func(raw []byte) ([]byte, error) {
+		_, payload, derr := decodeEntry(raw, key)
+		return payload, derr
+	})
+}
+
+// getVerified is the shared verified-read loop behind Get and GetByHash:
+// decode (and verify) via the supplied function, double-checking a failure
+// with a second read so in-flight corruption never quarantines a healthy
+// entry, while stable on-disk corruption is quarantined and reads as a miss.
+func (s *Store) getVerified(path string, decode func(raw []byte) ([]byte, error)) (payload []byte, ok bool, err error) {
 	var first []byte
 	for attempt := 0; attempt < 2; attempt++ {
 		raw, rerr := s.readFile(path)
@@ -213,7 +267,7 @@ func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
 			s.health.ReadErrors.Add(1)
 			return nil, false, fmt.Errorf("store: reading %s: %w", path, rerr)
 		}
-		_, payload, derr := decodeEntry(raw, key)
+		payload, derr := decode(raw)
 		if derr == nil {
 			if attempt > 0 {
 				s.health.Retries.Add(1)
@@ -228,7 +282,7 @@ func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
 		if !bytes.Equal(first, raw) {
 			// The two reads disagree: in-flight corruption. The entry itself
 			// may be fine; count the re-read as a spent retry and give up on
-			// this Get without quarantining.
+			// this read without quarantining.
 			s.health.Retries.Add(1)
 			s.health.ReadErrors.Add(1)
 			return nil, false, fmt.Errorf("store: unstable reads of %s: %w", path, derr)
