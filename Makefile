@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-short bench-compare bench-go check verify store-faults serve-test ci
+.PHONY: build test race vet bench bench-short bench-compare bench-history bench-go check verify store-faults serve-test sweep-test ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,15 @@ OLD ?= BENCH_old.json
 NEW ?= BENCH_sim.json
 bench-compare:
 	$(GO) run ./cmd/warpedgates benchcmp $(OLD) $(NEW)
+
+# Trajectory across every BENCH_*.json snapshot in DIR (filename order =
+# chronology for date-stamped names), gated: exits nonzero when the newest
+# snapshot's steady-state ns/cycle regresses more than REGRESS% against the
+# best snapshot in the trajectory.
+DIR ?= .
+REGRESS ?= 10
+bench-history:
+	$(GO) run ./cmd/warpedgates benchcmp -history $(DIR) -regress $(REGRESS)
 
 # Go micro-benchmarks; sub-benchmark names are stable so
 #   go test -bench Matrix -count 10 ./internal/sim | benchstat old.txt new.txt
@@ -84,4 +93,17 @@ store-faults:
 serve-test:
 	$(GO) test -race ./internal/serve/
 
-ci: build vet test race verify store-faults serve-test
+# The sweep-engine suite under the race detector: grid expansion and shard
+# partition properties, the end-to-end store-dedup proof (re-running a
+# >500-cell sweep on a cold engine simulates zero cells — every cell is a
+# store hit), the sampled-sweep speedup run, the sampled-mode golden-corpus
+# error ceiling (worst-cell cycle error must stay within the documented 5%
+# bound, with instruction/CTA counts conserved exactly), and the service's
+# sweep endpoints. Wall-clock speedup floors are logged but not asserted
+# under -race (it taxes detailed and sampled modes unevenly).
+sweep-test:
+	$(GO) test -race ./internal/sweep/
+	$(GO) test -race -run 'TestSampled' ./internal/sim/
+	$(GO) test -race -run 'TestSweep|TestSampledJob' ./internal/serve/
+
+ci: build vet test race verify store-faults serve-test sweep-test

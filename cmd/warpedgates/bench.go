@@ -279,15 +279,22 @@ func cmdBench(args []string) error {
 // barrier overhead, so the gate logs the skip reason to stderr and returns an
 // error wrapping errFloorSkipped — exit code 3, distinct from both a pass (0)
 // and a real failure (1) — rather than fail on a machine that cannot exhibit
-// scaling at all.
+// scaling at all. WARPEDGATES_FORCE_FLOOR=1 disables the self-skip: a CI job
+// that knows it runs multi-core sets it so a misdetected GOMAXPROCS can only
+// fail loudly (exit 1), never skip silently (exit 3 reads as a warning there).
 func checkScalingFloor(rep *benchReport, floor float64) error {
 	if floor <= 0 {
 		return nil
 	}
 	if rep.GOMAXPROCS < 2 {
-		fmt.Fprintf(os.Stderr, "bench: -floor %.2f skipped — GOMAXPROCS=%d cannot run workers in parallel\n",
-			floor, rep.GOMAXPROCS)
-		return fmt.Errorf("%w: GOMAXPROCS=%d < 2, cannot measure parallel scaling", errFloorSkipped, rep.GOMAXPROCS)
+		if os.Getenv("WARPEDGATES_FORCE_FLOOR") == "1" {
+			fmt.Fprintf(os.Stderr, "bench: WARPEDGATES_FORCE_FLOOR=1 — enforcing -floor %.2f despite GOMAXPROCS=%d\n",
+				floor, rep.GOMAXPROCS)
+		} else {
+			fmt.Fprintf(os.Stderr, "bench: -floor %.2f skipped — GOMAXPROCS=%d cannot run workers in parallel\n",
+				floor, rep.GOMAXPROCS)
+			return fmt.Errorf("%w: GOMAXPROCS=%d < 2, cannot measure parallel scaling", errFloorSkipped, rep.GOMAXPROCS)
+		}
 	}
 	for _, pt := range rep.IntraRunScaling {
 		if pt.Workers != 2 {

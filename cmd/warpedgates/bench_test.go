@@ -83,6 +83,32 @@ func TestFloorGateExitCodes(t *testing.T) {
 	}
 }
 
+// TestFloorForceOverride pins WARPEDGATES_FORCE_FLOOR=1: the single-core
+// self-skip is disabled, so the gate measures and passes or fails for real —
+// a multi-core CI job whose GOMAXPROCS is misdetected can never exit 3.
+func TestFloorForceOverride(t *testing.T) {
+	t.Setenv("WARPEDGATES_FORCE_FLOOR", "1")
+	// Single-core host, w2 below the floor: without the override this skips
+	// with exit 3; forced, it is a real failure.
+	err := checkScalingFloor(floorReport(1, 0.70, true), 1.10)
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("forced floor below threshold: exitCode(%v) = %d, want 1", err, got)
+	}
+	if errors.Is(err, errFloorSkipped) {
+		t.Fatalf("forced floor must not skip, got %v", err)
+	}
+	// Single-core host whose curve nonetheless clears the floor passes.
+	if err := checkScalingFloor(floorReport(1, 1.30, true), 1.10); err != nil {
+		t.Fatalf("forced floor above threshold: %v", err)
+	}
+	// Any value other than "1" keeps the self-skip.
+	t.Setenv("WARPEDGATES_FORCE_FLOOR", "0")
+	err = checkScalingFloor(floorReport(1, 0.70, true), 1.10)
+	if !errors.Is(err, errFloorSkipped) {
+		t.Fatalf("FORCE_FLOOR=0 should keep the self-skip, got %v", err)
+	}
+}
+
 // TestExitCode pins the generic error → exit status mapping main uses.
 func TestExitCode(t *testing.T) {
 	if got := exitCode(nil); got != 0 {

@@ -2,20 +2,42 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"warpedgates/internal/stats"
 )
 
-// cmdBenchcmp compares two BENCH_sim.json artifacts (old first, new second)
-// cell by cell, printing per-cell wall-clock speedups plus the steady-state
-// and intra-run-scaling deltas. Its exit status is always zero — the tool
-// reports, thresholds are the reader's policy — but cells present in only
-// one file are called out so silent matrix drift can't hide.
+// cmdBenchcmp compares BENCH_sim.json artifacts. With two positional
+// arguments (old first, new second) it compares cell by cell, printing
+// per-cell wall-clock speedups plus the steady-state and intra-run-scaling
+// deltas; that mode's exit status is always zero — the tool reports,
+// thresholds are the reader's policy — but cells present in only one file
+// are called out so silent matrix drift can't hide. With -history DIR it
+// walks every BENCH_*.json snapshot in the directory instead, prints the
+// per-cell trajectory, and exits nonzero when the newest snapshot's
+// steady-state cost regressed more than -regress percent past the best one.
 func cmdBenchcmp(args []string) error {
+	fs := flag.NewFlagSet("benchcmp", flag.ExitOnError)
+	history := fs.String("history", "", "directory of BENCH_*.json snapshots: print the whole trajectory instead of comparing two files")
+	regress := fs.Float64("regress", 10, "with -history: tolerated steady-state ns/cycle regression of the newest snapshot over the best one, in percent (0 disables the gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *history != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("benchcmp: -history takes no positional arguments")
+		}
+		return benchcmpHistory(os.Stdout, *history, *regress)
+	}
+	args = fs.Args()
 	if len(args) != 2 {
-		return fmt.Errorf("benchcmp wants exactly two arguments: OLD.json NEW.json")
+		return fmt.Errorf("benchcmp wants exactly two arguments: OLD.json NEW.json (or -history DIR)")
 	}
 	oldRep, err := readBenchReport(args[0])
 	if err != nil {
@@ -82,6 +104,99 @@ func cmdBenchcmp(args []string) error {
 		fmt.Println()
 	}
 	fmt.Printf("compared %d cells\n", matched)
+	return nil
+}
+
+// benchcmpHistory renders the regression dashboard over a directory of
+// BENCH_*.json snapshots, ordered by filename (date-stamped names — e.g.
+// BENCH_2026-08-08.json — give a chronological trajectory for free). The
+// per-cell table tracks ns/cycle across every snapshot plus the newest-vs-
+// first delta; the steady-state gate compares the newest snapshot against
+// the best in the trajectory and fails past the tolerated regression.
+func benchcmpHistory(w io.Writer, dir string, regressPct float64) error {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	if len(files) < 2 {
+		return fmt.Errorf("benchcmp: -history needs at least two BENCH_*.json snapshots in %s, found %d", dir, len(files))
+	}
+	reps := make([]*benchReport, len(files))
+	labels := make([]string, len(files))
+	for i, f := range files {
+		if reps[i], err = readBenchReport(f); err != nil {
+			return err
+		}
+		labels[i] = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(f), "BENCH_"), ".json")
+	}
+	first, last := reps[0], reps[len(reps)-1]
+	for i, r := range reps[1:] {
+		if r.SMs != first.SMs || r.Scale != first.Scale || r.GOMAXPROCS != first.GOMAXPROCS {
+			fmt.Fprintf(w, "note: machine mismatch — %s ran sms=%d scale=%g cores=%d, %s ran sms=%d scale=%g cores=%d; deltas conflate code and configuration\n",
+				labels[0], first.SMs, first.Scale, first.GOMAXPROCS,
+				labels[i+1], r.SMs, r.Scale, r.GOMAXPROCS)
+			break
+		}
+	}
+
+	// Per-cell ns/cycle across the trajectory. The newest snapshot defines
+	// the row set; older snapshots missing a cell show "-".
+	type cellKey struct{ bench, tech string }
+	perSnap := make([]map[cellKey]float64, len(reps))
+	for i, r := range reps {
+		perSnap[i] = make(map[cellKey]float64, len(r.Cells))
+		for _, c := range r.Cells {
+			perSnap[i][cellKey{c.Bench, c.Technique}] = c.NsPerCycle
+		}
+	}
+	header := append([]string{"benchmark", "technique"}, labels...)
+	header = append(header, "delta")
+	t := stats.NewTable(fmt.Sprintf("bench history: %s (%d snapshots, ns/cycle)", dir, len(reps)), header...)
+	for _, c := range last.Cells {
+		k := cellKey{c.Bench, c.Technique}
+		row := []string{c.Bench, c.Technique}
+		for i := range reps {
+			if v, ok := perSnap[i][k]; ok && v > 0 {
+				row = append(row, fmt.Sprintf("%.1f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		delta := "-"
+		if v0, ok := perSnap[0][k]; ok && v0 > 0 && c.NsPerCycle > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (c.NsPerCycle-v0)/v0*100)
+		}
+		t.AddRow(append(row, delta)...)
+	}
+	fmt.Fprintln(w, t)
+
+	fmt.Fprintln(w, "steady state (hot loop, one busy SM):")
+	best, bestLabel := 0.0, ""
+	for i, r := range reps {
+		ns := r.SteadyState.NsPerCycle
+		if ns <= 0 {
+			fmt.Fprintf(w, "  %-24s (no measurement)\n", labels[i])
+			continue
+		}
+		fmt.Fprintf(w, "  %-24s %.0f ns/cycle, %g allocs/cycle\n", labels[i], ns, r.SteadyState.AllocsPerCycle)
+		if best == 0 || ns < best {
+			best, bestLabel = ns, labels[i]
+		}
+	}
+	newest := last.SteadyState.NsPerCycle
+	switch {
+	case regressPct <= 0:
+		fmt.Fprintln(w, "steady-state gate disabled (-regress 0)")
+	case newest <= 0:
+		return fmt.Errorf("benchcmp: newest snapshot %s has no steady-state measurement to gate on", labels[len(labels)-1])
+	case best > 0 && newest > best*(1+regressPct/100):
+		return fmt.Errorf("benchcmp: steady-state regression: %s is %.0f ns/cycle, %.1f%% above the best snapshot %s (%.0f ns/cycle, limit %g%%)",
+			labels[len(labels)-1], newest, (newest-best)/best*100, bestLabel, best, regressPct)
+	default:
+		fmt.Fprintf(w, "steady-state gate: %s at %.0f ns/cycle is within %g%% of the best (%s, %.0f ns/cycle)\n",
+			labels[len(labels)-1], newest, regressPct, bestLabel, best)
+	}
 	return nil
 }
 

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// historyReport builds a minimal BENCH_sim.json snapshot with one cell and
+// the given steady-state cost.
+func historyReport(steadyNs float64, cellNs float64) *benchReport {
+	rep := &benchReport{SMs: 6, Scale: 0.25, GOMAXPROCS: 4}
+	rep.SteadyState.Bench = "hotspot"
+	rep.SteadyState.Technique = "WarpedGates"
+	rep.SteadyState.NsPerCycle = steadyNs
+	rep.SteadyState.AllocsPerCycle = 0
+	rep.Cells = []benchCell{{
+		Bench: "hotspot", Technique: "WarpedGates",
+		Cycles: 100000, WallMS: cellNs / 10, NsPerCycle: cellNs,
+	}}
+	return rep
+}
+
+// writeHistory lays snapshots into dir as BENCH_<label>.json files; labels
+// must sort in trajectory order, mirroring date-stamped names in real use.
+func writeHistory(t *testing.T, dir string, snaps map[string]*benchReport) {
+	t.Helper()
+	for label, rep := range snaps {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_"+label+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBenchcmpHistory pins the regression-dashboard contract: the trajectory
+// table renders every snapshot, and the steady-state gate exits nonzero only
+// past the tolerated regression.
+func TestBenchcmpHistory(t *testing.T) {
+	t.Run("improving trajectory passes", func(t *testing.T) {
+		dir := t.TempDir()
+		writeHistory(t, dir, map[string]*benchReport{
+			"2026-08-01": historyReport(500, 900),
+			"2026-08-02": historyReport(450, 850),
+			"2026-08-03": historyReport(400, 800),
+		})
+		var out strings.Builder
+		if err := benchcmpHistory(&out, dir, 10); err != nil {
+			t.Fatalf("improving history failed the gate: %v", err)
+		}
+		for _, want := range []string{"2026-08-01", "2026-08-03", "hotspot", "WarpedGates", "-11.1%", "steady-state gate"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("dashboard missing %q:\n%s", want, out.String())
+			}
+		}
+	})
+	t.Run("regression within tolerance passes", func(t *testing.T) {
+		dir := t.TempDir()
+		writeHistory(t, dir, map[string]*benchReport{
+			"a": historyReport(400, 800),
+			"b": historyReport(430, 800), // +7.5% over the best
+		})
+		if err := benchcmpHistory(io.Discard, dir, 10); err != nil {
+			t.Fatalf("7.5%% regression failed a 10%% gate: %v", err)
+		}
+	})
+	t.Run("regression past tolerance fails", func(t *testing.T) {
+		dir := t.TempDir()
+		writeHistory(t, dir, map[string]*benchReport{
+			"a": historyReport(400, 800),
+			"b": historyReport(480, 800), // +20% over the best
+		})
+		err := benchcmpHistory(io.Discard, dir, 10)
+		if err == nil {
+			t.Fatal("20% steady-state regression passed a 10% gate")
+		}
+		if !strings.Contains(err.Error(), "steady-state regression") {
+			t.Fatalf("unexpected gate error: %v", err)
+		}
+		if exitCode(err) != 1 {
+			t.Fatalf("gate failure maps to exit %d, want 1", exitCode(err))
+		}
+	})
+	t.Run("gate disabled reports only", func(t *testing.T) {
+		dir := t.TempDir()
+		writeHistory(t, dir, map[string]*benchReport{
+			"a": historyReport(400, 800),
+			"b": historyReport(480, 800),
+		})
+		if err := benchcmpHistory(io.Discard, dir, 0); err != nil {
+			t.Fatalf("-regress 0 must disable the gate: %v", err)
+		}
+	})
+	t.Run("fewer than two snapshots is an error", func(t *testing.T) {
+		dir := t.TempDir()
+		writeHistory(t, dir, map[string]*benchReport{"only": historyReport(400, 800)})
+		if err := benchcmpHistory(io.Discard, dir, 10); err == nil {
+			t.Fatal("single-snapshot history accepted")
+		}
+	})
+	t.Run("missing steady state in newest snapshot fails the gate", func(t *testing.T) {
+		dir := t.TempDir()
+		writeHistory(t, dir, map[string]*benchReport{
+			"a": historyReport(400, 800),
+			"b": historyReport(0, 800),
+		})
+		if err := benchcmpHistory(io.Discard, dir, 10); err == nil {
+			t.Fatal("gate passed with no newest steady-state measurement")
+		}
+	})
+}

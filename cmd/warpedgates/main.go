@@ -31,6 +31,11 @@
 //
 //	warpedgates compare
 //	    Print paper-vs-measured tables for the headline results.
+//
+//	warpedgates sweep -benches hotspot,bfs -scales 1,2 -sample 1000/5000 -store DIR
+//	    Expand a parameter grid into canonical jobs, deduplicate against the
+//	    report store, run the remainder (optionally one -shard i/n of the
+//	    sorted key space, optionally interval-sampled) and print aggregates.
 package main
 
 import (
@@ -75,6 +80,8 @@ func main() {
 		err = cmdCharacterize(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "store":
 		err = cmdStore(os.Args[2:])
 	case "-h", "--help", "help":
@@ -113,8 +120,13 @@ func usage() {
   warpedgates verify [-sms N] [-scale F] [-j N] [-workers N] [-bench <name>] [-tech <technique>] [-store DIR] [-v]
   warpedgates bench [-sms N] [-scale F] [-workers N] [-out BENCH_sim.json] [-store DIR]
   warpedgates benchcmp OLD.json NEW.json
+  warpedgates benchcmp -history DIR [-regress PCT]
   warpedgates characterize [-sms N] [-scale F] [-j N] [-workers N] [-store DIR]
   warpedgates compare [-sms N] [-scale F] [-j N] [-workers N] [-store DIR]
+  warpedgates sweep [-spec FILE] [-benches a,b] [-techniques a,b] [-sms 4,8]
+                    [-scales 1,2] [-seeds 0,1] [-idle-detects N,M] [-break-evens N,M]
+                    [-wakeup-delays N,M] [-sample detail/period] [-shard i/n]
+                    [-j N] [-store DIR] [-out REPORT.json] [-n] [-v]
   warpedgates store verify -store DIR
 
 -j bounds the simulation worker pool (0, the default, uses every core);

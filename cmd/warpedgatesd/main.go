@@ -7,6 +7,8 @@
 //
 //	POST /v1/jobs          submit a benchmark × technique job
 //	GET  /v1/jobs/{id}     poll status; Accept: text/event-stream streams it
+//	POST /v1/sweeps        submit a declarative parameter-grid sweep
+//	GET  /v1/sweeps/{id}   poll aggregate and per-cell sweep status
 //	GET  /v1/reports/{id}  fetch a finished report payload
 //	GET  /v1/healthz       liveness (503 while draining)
 //	GET  /v1/statusz       queue/job/store counters
@@ -54,6 +56,7 @@ func run() error {
 	maxDeadline := flag.Duration("max-deadline", 30*time.Minute, "clamp for requested per-job deadlines (0 = no clamp)")
 	maxWall := flag.Duration("max-wall", time.Hour, "runner watchdog backstop per simulation (0 = none)")
 	maxCached := flag.Int("max-cached", 256, "in-memory reports retained per workload scale (LRU)")
+	maxSweepCells := flag.Int("max-sweep-cells", 4096, "largest grid one sweep submission may expand to")
 	workers := flag.Int("workers", 1, "goroutines stepping SMs inside each simulation (results identical at any value)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight jobs before canceling them")
 	flag.Parse()
@@ -71,6 +74,7 @@ func run() error {
 		MaxDeadline:      *maxDeadline,
 		MaxWallTime:      *maxWall,
 		MaxCachedReports: *maxCached,
+		MaxSweepCells:    *maxSweepCells,
 		IntraRunWorkers:  *workers,
 	}
 	var st *store.Store

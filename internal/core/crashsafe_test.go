@@ -377,6 +377,17 @@ func TestJobKeyAxes(t *testing.T) {
 	if JobKey("hotspot", relaxed, 0.1) == key {
 		t.Fatal("EpochRelaxedCycles does not key, but relaxed mode changes results")
 	}
+	sampled := base
+	sampled.SampleDetailCycles = 1000
+	sampled.SamplePeriod = 5000
+	if JobKey("hotspot", sampled, 0.1) == key {
+		t.Fatal("sampling axes do not key, but a sampled report is an estimate")
+	}
+	widened := sampled
+	widened.SamplePeriod = 8000
+	if JobKey("hotspot", widened, 0.1) == JobKey("hotspot", sampled, 0.1) {
+		t.Fatal("SamplePeriod does not key independently of SampleDetailCycles")
+	}
 	if JobKey("bfs", base, 0.1) == key || JobKey("hotspot", base, 0.2) == key {
 		t.Fatal("bench/scale do not key")
 	}

@@ -126,41 +126,47 @@ type cacheEntry struct {
 // MemBanks are deliberately absent: the exact parallel engine is bit-identical
 // to the serial one at any worker count, batch size or bank count, so runs
 // that differ only in those share one cache slot. EpochRelaxedCycles is
-// present: relaxed mode changes results, so it must key separately.
+// present: relaxed mode changes results, so it must key separately — and so
+// are SampleDetailCycles/SamplePeriod, because a sampled report is an
+// estimate, never interchangeable with the detailed run it approximates.
 type runKey struct {
-	bench      string
-	scheduler  config.SchedulerKind
-	gating     config.GatingKind
-	adaptive   bool
-	idleDetect int
-	breakEven  int
-	wakeup     int
-	numSMs     int
-	clusters   int
-	maxHold    int
-	auxBO      bool
-	seed       uint64
-	scale      float64
-	relaxed    int
+	bench        string
+	scheduler    config.SchedulerKind
+	gating       config.GatingKind
+	adaptive     bool
+	idleDetect   int
+	breakEven    int
+	wakeup       int
+	numSMs       int
+	clusters     int
+	maxHold      int
+	auxBO        bool
+	seed         uint64
+	scale        float64
+	relaxed      int
+	sampleDetail int
+	samplePeriod int
 }
 
 // makeRunKey projects the result-determining axes of one job into its key.
 func makeRunKey(bench string, cfg config.Config, scale float64) runKey {
 	return runKey{
-		bench:      bench,
-		scheduler:  cfg.Scheduler,
-		gating:     cfg.Gating,
-		adaptive:   cfg.AdaptiveIdleDetect,
-		idleDetect: cfg.IdleDetect,
-		breakEven:  cfg.BreakEven,
-		wakeup:     cfg.WakeupDelay,
-		numSMs:     cfg.NumSMs,
-		clusters:   cfg.NumSPClusters,
-		maxHold:    cfg.GATESMaxHold,
-		auxBO:      cfg.BlackoutAux,
-		seed:       cfg.Seed,
-		scale:      scale,
-		relaxed:    cfg.EpochRelaxedCycles,
+		bench:        bench,
+		scheduler:    cfg.Scheduler,
+		gating:       cfg.Gating,
+		adaptive:     cfg.AdaptiveIdleDetect,
+		idleDetect:   cfg.IdleDetect,
+		breakEven:    cfg.BreakEven,
+		wakeup:       cfg.WakeupDelay,
+		numSMs:       cfg.NumSMs,
+		clusters:     cfg.NumSPClusters,
+		maxHold:      cfg.GATESMaxHold,
+		auxBO:        cfg.BlackoutAux,
+		seed:         cfg.Seed,
+		scale:        scale,
+		relaxed:      cfg.EpochRelaxedCycles,
+		sampleDetail: cfg.SampleDetailCycles,
+		samplePeriod: cfg.SamplePeriod,
 	}
 }
 
@@ -171,10 +177,10 @@ func makeRunKey(bench string, cfg config.Config, scale float64) runKey {
 // scale uses the shortest exact round-trip form, like the fingerprints.
 func (k runKey) canonical() string {
 	return fmt.Sprintf(
-		"wg-job v1 bench=%s sched=%s gate=%s adaptive=%t idle=%d bet=%d wake=%d sms=%d clusters=%d maxhold=%d auxbo=%t seed=%d scale=%s relaxed=%d",
+		"wg-job v2 bench=%s sched=%s gate=%s adaptive=%t idle=%d bet=%d wake=%d sms=%d clusters=%d maxhold=%d auxbo=%t seed=%d scale=%s relaxed=%d sample=%d/%d",
 		k.bench, k.scheduler, k.gating, k.adaptive, k.idleDetect, k.breakEven,
 		k.wakeup, k.numSMs, k.clusters, k.maxHold, k.auxBO, k.seed,
-		fmtFloat(k.scale), k.relaxed)
+		fmtFloat(k.scale), k.relaxed, k.sampleDetail, k.samplePeriod)
 }
 
 // JobKey returns the canonical durable-store key for one job at the given

@@ -63,6 +63,12 @@ type JobRequest struct {
 	IdleDetect  int `json:"idle_detect,omitempty"`
 	BreakEven   int `json:"break_even,omitempty"`
 	WakeupDelay int `json:"wakeup_delay,omitempty"`
+	// SampleDetail/SamplePeriod select interval-sampled execution (detail
+	// window and period in cycles; set both or neither). A sampled report is
+	// an estimate and keys a distinct canonical job, so it never collides
+	// with a detailed run of the same cell.
+	SampleDetail int `json:"sample_detail,omitempty"`
+	SamplePeriod int `json:"sample_period,omitempty"`
 	// DeadlineMS bounds the job's wall-clock runtime; exceeding it fails the
 	// job with error_kind "deadline". 0 means the server default; requests
 	// above the server maximum are clamped to it.
@@ -265,6 +271,12 @@ func (s *Server) buildJob(req *JobRequest) (*job, error) {
 	if req.WakeupDelay != 0 {
 		cfg.WakeupDelay = req.WakeupDelay
 	}
+	if req.SampleDetail != 0 {
+		cfg.SampleDetailCycles = req.SampleDetail
+	}
+	if req.SamplePeriod != 0 {
+		cfg.SamplePeriod = req.SamplePeriod
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -284,10 +296,10 @@ func (s *Server) buildJob(req *JobRequest) (*job, error) {
 	return j, nil
 }
 
-// deadline resolves a request's deadline against the server's default and
-// clamp.
-func (s *Server) deadline(req *JobRequest) time.Duration {
-	d := time.Duration(req.DeadlineMS) * time.Millisecond
+// deadline resolves a requested deadline (milliseconds) against the server's
+// default and clamp.
+func (s *Server) deadline(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
 	if d <= 0 {
 		d = s.opts.DefaultDeadline
 	}
@@ -320,7 +332,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	deadline := s.deadline(&req)
+	deadline := s.deadline(req.DeadlineMS)
 
 	s.mu.Lock()
 	if s.draining {
@@ -467,15 +479,25 @@ func (s *Server) instrument(scale float64) core.Instrumenter {
 }
 
 // Drain gracefully shuts the service down: stop admitting (submissions and
-// health checks answer 503), let queued and running jobs finish, and — if
-// ctx expires first — cancel everything still in flight with ErrDraining and
-// wait for the workers to exit. It returns the first of those two outcomes'
-// error: nil for a clean drain, ctx's error for a forced one.
+// health checks answer 503), let queued and running jobs — including a
+// sweep's already-admitted cells — finish, and — if ctx expires first —
+// cancel everything still in flight with ErrDraining and wait for the
+// workers to exit. It returns the first of those two outcomes' error: nil
+// for a clean drain, ctx's error for a forced one.
+//
+// The queue is closed off the Drain goroutine, after in-flight sweep feeders
+// finish: a feeder blocked on the full queue must never race the close (a
+// send on a closed channel panics), and once draining is set no new feeder
+// can register. Single-job submissions send under the mutex after checking
+// the draining flag, so they are ordered before the close the same way.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		go func() {
+			s.senders.Wait()
+			close(s.queue)
+		}()
 	}
 	s.mu.Unlock()
 

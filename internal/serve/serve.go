@@ -3,6 +3,8 @@
 //
 //	POST /v1/jobs          submit a benchmark × technique simulation job
 //	GET  /v1/jobs/{id}     poll job status, or stream it as SSE events
+//	POST /v1/sweeps        submit a declarative parameter-grid sweep
+//	GET  /v1/sweeps/{id}   poll aggregate and per-cell sweep status
 //	GET  /v1/reports/{id}  fetch the finished report payload
 //	GET  /v1/healthz       liveness (503 while draining)
 //	GET  /v1/statusz       queue, job, quota and store counters
@@ -70,6 +72,9 @@ type Options struct {
 	// it (their reports remain fetchable — report IDs are store addresses).
 	// Default 4096.
 	MaxJobs int
+	// MaxSweepCells bounds how many cells one sweep submission may expand
+	// to; larger grids are rejected with a hint to shard. Default 4096.
+	MaxSweepCells int
 	// ProgressEveryCycles throttles SSE progress events: one event per this
 	// many simulated cycles. Default 25000.
 	ProgressEveryCycles int64
@@ -95,6 +100,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 4096
 	}
+	if o.MaxSweepCells <= 0 {
+		o.MaxSweepCells = 4096
+	}
 	if o.ProgressEveryCycles <= 0 {
 		o.ProgressEveryCycles = 25000
 	}
@@ -114,12 +122,18 @@ type Server struct {
 
 	quotas *quotas
 
-	mu       sync.Mutex
-	draining bool
-	queue    chan *job
-	runners  map[float64]*core.Runner
-	jobs     map[string]*job
-	order    []*job // submission order, for terminal-job pruning
+	mu         sync.Mutex
+	draining   bool
+	queue      chan *job
+	runners    map[float64]*core.Runner
+	jobs       map[string]*job
+	order      []*job // submission order, for terminal-job pruning
+	sweeps     map[string]*sweepRun
+	sweepOrder []*sweepRun
+
+	// senders counts in-flight blocking queue sends (sweep feeders). Drain
+	// closes the queue only after they finish — see admit.
+	senders sync.WaitGroup
 
 	lifecycle // job contexts and the worker pool
 
@@ -142,11 +156,14 @@ func NewServer(opts Options) (*Server, error) {
 		queue:   make(chan *job, opts.QueueDepth),
 		runners: make(map[float64]*core.Runner),
 		jobs:    make(map[string]*job),
+		sweeps:  make(map[string]*sweepRun),
 	}
 	s.lifecycle.init()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/reports/{id}", s.handleReport)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/statusz", s.handleStatusz)
@@ -227,6 +244,7 @@ type Statusz struct {
 	QueueDepth    int            `json:"queue_depth"`
 	QueueCap      int            `json:"queue_cap"`
 	Jobs          map[State]int  `json:"jobs"`
+	Sweeps        int            `json:"sweeps"`
 	Simulations   uint64         `json:"simulations"`
 	Clients       int            `json:"quota_clients"`
 	Store         *storeCounters `json:"store,omitempty"`
@@ -259,6 +277,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	for _, j := range s.jobs {
 		st.Jobs[j.State()]++
 	}
+	st.Sweeps = len(s.sweeps)
 	s.mu.Unlock()
 	if s.opts.Store != nil {
 		h := s.opts.Store.Health()

@@ -73,7 +73,11 @@ func (g *GPU) RunCtx(ctx context.Context) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, g.canceled(ctx)
 	}
-	if w := g.workerCount(); w > 1 || g.cfg.EpochRelaxedCycles > 0 {
+	// Sampled runs always use the serial engine: the worker count is not part
+	// of the runner's cache key, so a sampled result must not depend on it,
+	// and the splice points need the single globally ordered clock.
+	smp := newSampler(g)
+	if w := g.workerCount(); smp == nil && (w > 1 || g.cfg.EpochRelaxedCycles > 0) {
 		return g.runParallel(ctx, w)
 	}
 	// Completion is event-driven rather than scanned: an SM flips its drained
@@ -135,11 +139,18 @@ func (g *GPU) RunCtx(ctx context.Context) (*Report, error) {
 		if maxCycles > 0 && g.cycle > maxCycles {
 			g.cycle = maxCycles
 		}
+		if smp != nil && g.cycle >= smp.next {
+			smp.boundary()
+		}
 	}
 	for _, sm := range g.sms {
 		sm.finish()
 	}
-	return g.report(), nil
+	rep := g.report()
+	if smp != nil {
+		smp.apply(rep)
+	}
+	return rep, nil
 }
 
 // workerCount clamps the configured intra-run worker count to the SM array:
@@ -266,6 +277,20 @@ type Report struct {
 
 	L1MissRate float64
 	L2Stats    [4]uint64 // accesses, misses, dram requests, queue delay
+
+	// Interval-sampling metadata (see internal/sim/sampling.go). Sampled is
+	// set when the run used interval sampling; the counters above then mix
+	// detailed measurement with closed-form estimate. SampledDetailCycles is
+	// the device cycles actually simulated (Cycles minus the estimate),
+	// SampledSkippedInstrs/CTAs the work spliced out, and SampleErrorEst a
+	// heuristic relative error estimate for Cycles (window-rate dispersion
+	// scaled by the estimated fraction). All zero for full runs, so reports
+	// decoded from stores written before sampling existed read as unsampled.
+	Sampled              bool
+	SampledDetailCycles  int64
+	SampledSkippedInstrs uint64
+	SampledSkippedCTAs   int
+	SampleErrorEst       float64
 }
 
 // report assembles the final Report from per-SM state.

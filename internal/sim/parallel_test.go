@@ -121,7 +121,7 @@ func TestParallelEngineMatchesSerial(t *testing.T) {
 // banks) combination in exact mode produces the serial engine's reports and
 // per-SM streams byte for byte, fast-forward on or off. Workers cover the
 // degenerate single-goroutine case, an uneven split, and one-SM-per-worker
-// (NumSMs); batch 1 degenerates to per-cycle windows, 64 is the default, 512
+// (NumSMs); batch 1 degenerates to per-cycle windows, 128 is the default, 512
 // exceeds every natural window. Bank 1 degenerates to the unified device.
 func TestBatchedEngineInvariantToTuning(t *testing.T) {
 	for _, bench := range []string{"hotspot", "bfs"} {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sweep
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock assertions are logged but not enforced under -race.
+const raceEnabled = false
