@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-short bench-compare bench-history bench-go check verify store-faults serve-test sweep-test ci
+.PHONY: build test race vet bench bench-short bench-compare bench-history bench-go calibrate check verify store-faults serve-test sweep-test ci
 
 build:
 	$(GO) build ./...
@@ -27,13 +27,23 @@ race:
 # off) gates the intra-run scaling curve — `make bench-short FLOOR=1.5`
 # exits 1 if 2 workers don't reach a 1.5x speedup. On single-core hosts the
 # gate cannot be measured: it logs the reason to stderr and exits 3, so CI
-# can tell a skipped gate from a passed (0) or failed (1) one.
+# can tell a skipped gate from a passed (0) or failed (1) one. MAKESPAN
+# (default 0 = off) gates the adaptive-vs-static full-matrix wall time the
+# same way — `make bench-short FLOOR=1.5 MAKESPAN=1.2` — enforced at >= 4
+# cores, informational at 2-3, exit 3 below 2.
 FLOOR ?= 0
+MAKESPAN ?= 0
 bench:
-	$(GO) run ./cmd/warpedgates bench -sms 6 -scale 0.25 -floor $(FLOOR) -out BENCH_sim.json
+	$(GO) run ./cmd/warpedgates bench -sms 6 -scale 0.25 -floor $(FLOOR) -makespan-floor $(MAKESPAN) -out BENCH_sim.json
 
 bench-short:
-	$(GO) run ./cmd/warpedgates bench -sms 2 -scale 0.1 -floor $(FLOOR) -out BENCH_sim.json
+	$(GO) run ./cmd/warpedgates bench -sms 2 -scale 0.1 -floor $(FLOOR) -makespan-floor $(MAKESPAN) -out BENCH_sim.json
+
+# Regenerate the committed cost-model calibration table. Deterministic: a
+# diff against the committed file means the simulator's cycle counts moved
+# (commit the new table with the change that moved them).
+calibrate:
+	$(GO) run ./cmd/warpedgates bench -calibrate internal/core/costdata.json
 
 # Cell-by-cell comparison of two bench artifacts:
 #   make bench-compare OLD=BENCH_old.json NEW=BENCH_sim.json

@@ -72,11 +72,38 @@ type benchReport struct {
 	// workers=1 point is the serial engine and anchors the speedups.
 	IntraRunScaling []scalingPoint `json:"intra_run_scaling"`
 
+	// MemBanksScaling varies the bank-sharded arbitration width on the same
+	// stepped run (fixed worker count): the multi-core tuning data the
+	// MemBanks default is judged against. The banks=1 point (unified model)
+	// anchors the speedups.
+	MemBanksScaling []memBanksPoint `json:"mem_banks_scaling,omitempty"`
+
+	// Makespan times the full benchmark × technique matrix through the
+	// job-level runner twice — static split vs the adaptive two-level
+	// schedule (cost-model LPT + tail worker reallocation) — on fresh
+	// runners, so it measures scheduling, not caching. Speedup is
+	// static_ms/adaptive_ms; interpret against "gomaxprocs" (a single-core
+	// host can only measure scheduling overhead).
+	Makespan struct {
+		Jobs       int     `json:"jobs"`
+		JobWorkers int     `json:"job_workers"`
+		StaticMS   float64 `json:"static_ms"`
+		AdaptiveMS float64 `json:"adaptive_ms"`
+		Speedup    float64 `json:"speedup"`
+	} `json:"makespan"`
+
 	Totals struct {
 		FastForwardMS float64 `json:"fast_forward_ms"`
 		SteppedMS     float64 `json:"stepped_ms"`
 		Speedup       float64 `json:"speedup"`
 	} `json:"totals"`
+}
+
+// memBanksPoint is one bank count on the arbitration-sharding curve.
+type memBanksPoint struct {
+	Banks   int     `json:"banks"`
+	WallMS  float64 `json:"wall_ms"`
+	Speedup float64 `json:"speedup"`
 }
 
 // cmdBench times the full benchmark × technique matrix serially (one
@@ -91,10 +118,15 @@ func cmdBench(args []string) error {
 	workers := addWorkersFlag(fs)
 	out := fs.String("out", "BENCH_sim.json", "output JSON path")
 	floor := fs.Float64("floor", 0, "minimum intra-run speedup at 2 workers; exit nonzero below it (0 disables; exit 3 on single-core hosts that cannot measure it)")
+	makespanFloor := fs.Float64("makespan-floor", 0, "minimum adaptive-vs-static matrix makespan speedup; enforced at >=4 cores, informational at 2-3, exit 3 on single-core hosts (0 disables)")
+	calibrate := fs.String("calibrate", "", "write the cost-model calibration table to this file and exit (canonical path: internal/core/costdata.json)")
 	storeDir := addStoreFlag(fs)
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *calibrate != "" {
+		return writeCalibration(*calibrate)
 	}
 	if err := prof.start(); err != nil {
 		return err
@@ -234,6 +266,82 @@ func cmdBench(args []string) error {
 		rep.IntraRunScaling = append(rep.IntraRunScaling, pt)
 	}
 
+	// Arbitration-sharding curve: the same stepped run at a fixed worker
+	// count, varying MemBanks across every power of two the GTX480 memory
+	// geometry admits. banks=1 is the unified model; the default
+	// (EffectiveMemBanks) should sit at or near the curve's minimum on a
+	// multi-core host.
+	banksWorkers := 4
+	if banksWorkers > *sms {
+		banksWorkers = *sms
+	}
+	var banks1MS float64
+	for _, b := range []int{1, 2, 4, 8} {
+		cfg := scaleCfg
+		cfg.IntraRunWorkers = banksWorkers
+		cfg.MemBanks = b
+		if err := cfg.Validate(); err != nil {
+			continue // geometry does not admit this bank count
+		}
+		runtime.GC()
+		t0 := time.Now()
+		gpu, err := sim.NewGPU(cfg, scaleKernel)
+		if err != nil {
+			return err
+		}
+		gpu.Run()
+		pt := memBanksPoint{Banks: b, WallMS: float64(time.Since(t0).Nanoseconds()) / 1e6}
+		if b == 1 {
+			banks1MS = pt.WallMS
+		}
+		if banks1MS > 0 && pt.WallMS > 0 {
+			pt.Speedup = banks1MS / pt.WallMS
+		}
+		rep.MemBanksScaling = append(rep.MemBanksScaling, pt)
+	}
+
+	// Makespan: the full matrix through the job-level runner, static split
+	// vs adaptive two-level scheduling. Fresh runner per mode (empty cache,
+	// no store) so both time real simulation; IntraRunWorkers=1 gives the
+	// static mode the widest job-level split, and under adaptive the lease
+	// pool grows tail runs beyond it.
+	runMatrix := func(mode core.SchedMode) (float64, error) {
+		mb := base
+		mb.IntraRunWorkers = 1
+		r := core.NewRunner(mb)
+		r.Scale = *scale
+		r.Sched = mode
+		jobs := make([]core.Job, 0, len(kernels.BenchmarkNames)*len(techs))
+		for _, bench := range kernels.BenchmarkNames {
+			for _, tech := range techs {
+				jobs = append(jobs, core.Job{Bench: bench, Cfg: tech.Apply(mb)})
+			}
+		}
+		runtime.GC()
+		t0 := time.Now()
+		if _, err := r.RunMany(jobs); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(t0).Nanoseconds()) / 1e6, nil
+	}
+	rep.Makespan.Jobs = len(kernels.BenchmarkNames) * len(techs)
+	rep.Makespan.JobWorkers = rep.GOMAXPROCS
+	if rep.Makespan.JobWorkers > rep.Makespan.Jobs {
+		rep.Makespan.JobWorkers = rep.Makespan.Jobs
+	}
+	staticMS, err := runMatrix(core.SchedStatic)
+	if err != nil {
+		return err
+	}
+	adaptiveMS, err := runMatrix(core.SchedAdaptive)
+	if err != nil {
+		return err
+	}
+	rep.Makespan.StaticMS, rep.Makespan.AdaptiveMS = staticMS, adaptiveMS
+	if rep.Makespan.AdaptiveMS > 0 {
+		rep.Makespan.Speedup = rep.Makespan.StaticMS / rep.Makespan.AdaptiveMS
+	}
+
 	// Steady-state hot-loop cost: a busy SM under the full proposal. Ten
 	// retire-ring revolutions of warmup let the event arena reach its
 	// high-water mark, after which the measured window allocates nothing.
@@ -269,8 +377,40 @@ func cmdBench(args []string) error {
 		fmt.Printf(" w%d=%.2fx", pt.Workers, pt.Speedup)
 	}
 	fmt.Println()
+	fmt.Printf("mem-banks scaling (hotspot stepped, %d workers):", banksWorkers)
+	for _, pt := range rep.MemBanksScaling {
+		fmt.Printf(" b%d=%.2fx", pt.Banks, pt.Speedup)
+	}
+	fmt.Println()
+	fmt.Printf("makespan (%d jobs, %d job workers): static %.0f ms, adaptive %.0f ms, speedup %.2fx\n",
+		rep.Makespan.Jobs, rep.Makespan.JobWorkers, rep.Makespan.StaticMS, rep.Makespan.AdaptiveMS, rep.Makespan.Speedup)
 	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Cells))
-	return checkScalingFloor(&rep, *floor)
+	if err := checkScalingFloor(&rep, *floor); err != nil {
+		return err
+	}
+	return checkMakespanFloor(&rep, *makespanFloor)
+}
+
+// writeCalibration regenerates the committed cost-model calibration table by
+// running every benchmark once at the fixed calibration point and writing the
+// canonical encoding. Running it against internal/core/costdata.json must
+// produce no diff: the table is deterministic, so a diff means the simulator's
+// cycle counts moved and the embedded table is stale.
+func writeCalibration(path string) error {
+	t, err := core.CalibrateCostTable()
+	if err != nil {
+		return err
+	}
+	data, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks at sms=%d scale=%g)\n",
+		path, len(t.Cells), core.CalCostSMS, core.CalCostScale)
+	return nil
 }
 
 // checkScalingFloor enforces the -floor gate: the 2-worker point of the
@@ -307,4 +447,39 @@ func checkScalingFloor(rep *benchReport, floor float64) error {
 		return nil
 	}
 	return fmt.Errorf("bench: -floor %.2f set but the scaling curve has no 2-worker point", floor)
+}
+
+// checkMakespanFloor enforces the -makespan-floor gate: adaptive scheduling
+// must beat the static split on full-matrix wall time by the given factor.
+// The 20% target assumes enough cores for both job-level parallelism and a
+// tail to reallocate, so the gate self-scales: below 2 cores it skips with
+// errFloorSkipped (exit 3) exactly like the scaling-floor gate, at 2-3 cores
+// it reports the measurement without enforcing (the tail is too short to
+// guarantee the target), and at >=4 cores it fails hard below the floor.
+// WARPEDGATES_FORCE_FLOOR=1 promotes every tier to hard enforcement.
+func checkMakespanFloor(rep *benchReport, floor float64) error {
+	if floor <= 0 {
+		return nil
+	}
+	forced := os.Getenv("WARPEDGATES_FORCE_FLOOR") == "1"
+	m := rep.Makespan
+	if rep.GOMAXPROCS < 2 && !forced {
+		fmt.Fprintf(os.Stderr, "bench: -makespan-floor %.2f skipped — GOMAXPROCS=%d cannot run jobs in parallel\n",
+			floor, rep.GOMAXPROCS)
+		return fmt.Errorf("%w: GOMAXPROCS=%d < 2, cannot measure makespan scheduling", errFloorSkipped, rep.GOMAXPROCS)
+	}
+	if m.StaticMS <= 0 || m.AdaptiveMS <= 0 {
+		return fmt.Errorf("bench: -makespan-floor %.2f set but the makespan section was not measured", floor)
+	}
+	if rep.GOMAXPROCS < 4 && !forced {
+		fmt.Printf("makespan gate: %.2fx at %d cores — informational only, enforced at >=4 cores (floor %.2fx)\n",
+			m.Speedup, rep.GOMAXPROCS, floor)
+		return nil
+	}
+	if m.Speedup < floor {
+		return fmt.Errorf("bench: adaptive makespan speedup is %.2fx, below the %.2fx floor (static %.0f ms, adaptive %.0f ms)",
+			m.Speedup, floor, m.StaticMS, m.AdaptiveMS)
+	}
+	fmt.Printf("makespan gate: %.2fx >= %.2fx\n", m.Speedup, floor)
+	return nil
 }

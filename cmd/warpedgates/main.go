@@ -114,11 +114,12 @@ func exitCode(err error) int {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   warpedgates list
-  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F] [-j N] [-workers N] [-store DIR]
-  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-workers N] [-csv DIR] [-store DIR] [-v]
+  warpedgates run -bench <name> -tech <technique> [-sms N] [-scale F] [-j N] [-workers N] [-sched MODE] [-store DIR]
+  warpedgates figure -id <figure|all> [-sms N] [-scale F] [-j N] [-workers N] [-sched MODE] [-csv DIR] [-store DIR] [-v]
   warpedgates trace -bench <name> -tech <technique> [-from C] [-cycles N]
-  warpedgates verify [-sms N] [-scale F] [-j N] [-workers N] [-bench <name>] [-tech <technique>] [-store DIR] [-v]
+  warpedgates verify [-sms N] [-scale F] [-j N] [-workers N] [-sched MODE] [-bench <name>] [-tech <technique>] [-store DIR] [-v]
   warpedgates bench [-sms N] [-scale F] [-workers N] [-out BENCH_sim.json] [-store DIR]
+                    [-floor X] [-makespan-floor X] [-calibrate FILE]
   warpedgates benchcmp OLD.json NEW.json
   warpedgates benchcmp -history DIR [-regress PCT]
   warpedgates characterize [-sms N] [-scale F] [-j N] [-workers N] [-store DIR]
@@ -134,6 +135,14 @@ figure regeneration is deterministic at any -j. -workers sets how many
 goroutines step SMs inside each simulation (default 1, or the
 WARPEDGATES_WORKERS environment variable; results are bit-identical at any
 value — the runner shrinks its -j budget so jobs x workers stays within -j).
+-sched picks the job-level schedule: adaptive (default) orders jobs by the
+calibrated cost model, longest first, and grants drained workers' budget to
+still-running simulations; static keeps submission order and a fixed split.
+Both produce byte-identical reports — scheduling is a wall-clock knob.
+`+"`bench -calibrate FILE`"+` regenerates the committed cost table
+(internal/core/costdata.json) and must produce no diff on an unchanged
+simulator. bench -makespan-floor gates adaptive-vs-static matrix wall time
+(enforced at >=4 cores, informational at 2-3, exit 3 on single-core).
 -store DIR persists every report in a crash-safe checksummed on-disk store;
 later runs at any -j/-workers serve byte-identical results from it without
 simulating. `+"`store verify`"+` scrubs a store (checksums every entry,
@@ -155,6 +164,17 @@ exit codes: 0 success; 1 error; 2 usage; 3 bench -floor gate skipped
 func addWorkersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", envWorkers(),
 		"goroutines stepping SMs inside each simulation (1 = serial engine; identical results at any value)")
+}
+
+// addSchedFlag registers the shared -sched flag selecting the runner's job
+// scheduling mode. Adaptive (the default) orders jobs longest-predicted-first
+// by the calibrated cost model and hands drained workers' budget to
+// still-running simulations as extra intra-run workers; static keeps
+// submission order and a fixed split. Scheduling never changes results, so
+// output is byte-identical either way.
+func addSchedFlag(fs *flag.FlagSet) *string {
+	return fs.String("sched", "adaptive",
+		"job scheduling: adaptive (cost-model LPT + tail worker reallocation) or static (submission order, fixed split); identical output either way")
 }
 
 // envWorkers parses WARPEDGATES_WORKERS; unset, malformed or negative values
@@ -195,6 +215,7 @@ func cmdRun(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	workers := addWorkersFlag(fs)
+	schedFlag := addSchedFlag(fs)
 	storeDir := addStoreFlag(fs)
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -208,12 +229,17 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	sched, err := core.ParseSchedMode(*schedFlag)
+	if err != nil {
+		return err
+	}
 	cfg := config.GTX480()
 	cfg.NumSMs = *sms
 	cfg.IntraRunWorkers = *workers
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs
+	r.Sched = sched
 	st, err := attachStore(r, *storeDir)
 	if err != nil {
 		return err
@@ -246,6 +272,7 @@ func cmdFigure(args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	jobs := fs.Int("j", 0, "max concurrent simulations (0 = all cores)")
 	workers := addWorkersFlag(fs)
+	schedFlag := addSchedFlag(fs)
 	verbose := fs.Bool("v", false, "print progress")
 	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
 	storeDir := addStoreFlag(fs)
@@ -257,6 +284,10 @@ func cmdFigure(args []string) error {
 		return err
 	}
 	defer prof.stop()
+	sched, err := core.ParseSchedMode(*schedFlag)
+	if err != nil {
+		return err
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
@@ -268,6 +299,7 @@ func cmdFigure(args []string) error {
 	r := core.NewRunner(cfg)
 	r.Scale = *scale
 	r.Parallelism = *jobs
+	r.Sched = sched
 	st, err := attachStore(r, *storeDir)
 	if err != nil {
 		return err

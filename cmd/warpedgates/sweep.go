@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"warpedgates/internal/config"
+	"warpedgates/internal/core"
 	"warpedgates/internal/store"
 	"warpedgates/internal/sweep"
 )
@@ -33,6 +34,7 @@ func cmdSweep(args []string) error {
 	shard := fs.String("shard", "", "run only shard i/n of the sorted job-key space, e.g. 0/4")
 	jobs := fs.Int("j", 0, "max concurrent cells (0 = all cores)")
 	workers := addWorkersFlag(fs)
+	schedFlag := addSchedFlag(fs)
 	storeDir := addStoreFlag(fs)
 	out := fs.String("out", "", "write the full sweep report as JSON to this file")
 	verbose := fs.Bool("v", false, "print per-cell progress")
@@ -128,10 +130,15 @@ func cmdSweep(args []string) error {
 			return err
 		}
 	}
+	sched, err := core.ParseSchedMode(*schedFlag)
+	if err != nil {
+		return err
+	}
 	eng := &sweep.Engine{
 		Base:        base,
 		Store:       st,
 		Parallelism: *jobs,
+		Sched:       sched,
 	}
 	if *verbose {
 		eng.Progress = func(done, total int, res sweep.CellResult) {

@@ -92,6 +92,58 @@ func TestCheckedMatrixIntraRunWorkers(t *testing.T) {
 	t.Logf("verified %d parallel-engine simulations, %d invariant evaluations", runs, checks)
 }
 
+// TestCheckedMatrixAdaptiveSched runs the full matrix as one batch under the
+// adaptive two-level schedule — cost-model LPT order, a lease pool seeded so
+// running simulations absorb drained workers' budget mid-run, work-stealing
+// SM shards — with the invariant checker attached, and requires every report
+// to fingerprint identical to a static serial runner's. Under `go test -race`
+// this is the data-race acceptance gate for tail reallocation and stealing.
+func TestCheckedMatrixAdaptiveSched(t *testing.T) {
+	base := config.Small()
+	base.IntraRunWorkers = base.NumSMs
+	var sum check.Summary
+	r := checkedRunner(base, matrixScale, &sum)
+	r.Parallelism = 4
+	r.Sched = core.SchedAdaptive
+	serial := checkedRunner(config.Small(), matrixScale, nil)
+	serial.Parallelism = 1
+	serial.Sched = core.SchedStatic
+	jobs := make([]core.Job, 0, len(kernels.BenchmarkNames)*len(core.AllTechniques()))
+	for _, b := range kernels.BenchmarkNames {
+		for _, tech := range core.AllTechniques() {
+			jobs = append(jobs, core.Job{Bench: b, Cfg: tech.Apply(base)})
+		}
+	}
+	adaptive, err := r.RunMany(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sjobs := make([]core.Job, len(jobs))
+	copy(sjobs, jobs)
+	for i := range sjobs {
+		sjobs[i].Cfg.IntraRunWorkers = 1
+	}
+	want, err := serial.RunMany(sjobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		fa, fs := core.FingerprintReport(adaptive[i]), core.FingerprintReport(want[i])
+		if fa != fs {
+			t.Errorf("%s/%s-%s: adaptive schedule diverged:\n  static serial: %s\n  adaptive:      %s",
+				jobs[i].Bench, jobs[i].Cfg.Scheduler, jobs[i].Cfg.Gating, fs, fa)
+		}
+	}
+	runs, checks := sum.Snapshot()
+	if want := len(jobs); runs != want {
+		t.Fatalf("checked %d simulations, want %d", runs, want)
+	}
+	if checks == 0 {
+		t.Fatal("checker performed zero invariant evaluations")
+	}
+	t.Logf("verified %d adaptive-schedule simulations, %d invariant evaluations", runs, checks)
+}
+
 // TestMetamorphicSeedDeterminism: the same configuration simulated twice on
 // independent runners produces byte-identical reports, and a different seed
 // still satisfies every invariant.

@@ -133,6 +133,15 @@ type Config struct {
 	// exists only for equivalence testing and debugging; the zero value
 	// leaves it enabled.
 	DisableFastForward bool
+	// DisableShardSteal pins each parallel-engine worker to a fixed
+	// contiguous SM shard instead of letting workers claim SM batches from a
+	// shared index each compute window. Stealing only changes which goroutine
+	// steps an SM — never the cycle its effects resolve at — so the knob is
+	// bit-exact either way and exists for equivalence testing and overhead
+	// measurement; the zero value leaves stealing enabled. Like
+	// IntraRunWorkers it never affects results and is excluded from the
+	// experiment runner's cache key.
+	DisableShardSteal bool
 
 	// --- Intra-run parallel engine tuning ---
 	//
@@ -256,6 +265,22 @@ func (c *Config) EffectiveMemBanks() int {
 
 // Sampling reports whether interval-sampled simulation is enabled.
 func (c *Config) Sampling() bool { return c.SampleDetailCycles > 0 }
+
+// EffectiveIntraRunWorkers resolves the IntraRunWorkers knob to the worker
+// count the engine will actually run: at least 1, at most NumSMs (shards are
+// per-SM, so goroutines beyond NumSMs could only idle). Budget splitters must
+// divide by this, not the raw knob, or an oversized IntraRunWorkers starves
+// the job-level pool for goroutines that never exist.
+func (c *Config) EffectiveIntraRunWorkers() int {
+	w := c.IntraRunWorkers
+	if w > c.NumSMs {
+		w = c.NumSMs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // EffectiveBatchCycles resolves the BatchCycles knob (0 means the default
 // 128). The default was retuned from 64 using the bench barrier-overhead

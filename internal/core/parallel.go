@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 
@@ -29,17 +30,27 @@ func techniqueJobs(base config.Config, benches []string, techs ...Technique) []J
 	return jobs
 }
 
-// workers returns the effective job-level worker-pool bound. When the base
-// configuration runs each simulation on several goroutines
-// (Base.IntraRunWorkers > 1), the job budget shrinks so that
-// jobs × intra-run workers stays within the -j budget: the two axes multiply,
-// and oversubscribing cores makes both slower.
-func (r *Runner) workers() int {
+// budget returns the total core budget: -j when set, GOMAXPROCS otherwise.
+func (r *Runner) budget() int {
 	w := r.Parallelism
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if iw := r.Base.IntraRunWorkers; iw > 1 {
+	return w
+}
+
+// workers returns the effective job-level worker-pool bound. When the base
+// configuration runs each simulation on several goroutines
+// (Base.IntraRunWorkers > 1), the job budget shrinks so that
+// jobs × intra-run workers stays within the -j budget: the two axes multiply,
+// and oversubscribing cores makes both slower. The divisor is the *effective*
+// intra-run worker count — the engine clamps IntraRunWorkers to NumSMs, so
+// dividing by the raw knob would starve the job pool for goroutines that
+// never exist (e.g. -j 8 with IntraRunWorkers=64 on a 2-SM machine must
+// yield 4 job workers, not 1).
+func (r *Runner) workers() int {
+	w := r.budget()
+	if iw := r.Base.EffectiveIntraRunWorkers(); iw > 1 {
 		w /= iw
 		if w < 1 {
 			w = 1
@@ -59,6 +70,15 @@ func (r *Runner) RunMany(jobs []Job) ([]*sim.Report, error) {
 // Duplicate jobs cost one simulation: the singleflight cache collapses them.
 // Results are positional, so output assembled from them is identical to a
 // serial loop over jobs.
+//
+// Under SchedAdaptive (the default) the dispatcher admits jobs in LPT order —
+// longest predicted first, by the cost model — and the budget is elastic at
+// the tail: surplus cores the batch could not use as job-level workers seed a
+// WorkerLeases pool, each worker returns its share when the queue drains, and
+// still-running simulations absorb the tokens as extra intra-run workers at
+// their next epoch boundary. Neither mechanism can change a result: results
+// are positional, jobs deterministic at any worker count. SchedStatic keeps
+// submission order and a fixed split.
 //
 // Cancellation and failure share one mechanism: the job context. The first
 // job error cancels it with that error as the cause, which stops the
@@ -83,12 +103,40 @@ func (r *Runner) RunManyCtx(ctx context.Context, jobs []Job) ([]*sim.Report, err
 		return out, nil
 	}
 
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	var leases *WorkerLeases
+	iw := r.Base.EffectiveIntraRunWorkers()
+	if r.Sched == SchedAdaptive {
+		cost := r.costModel()
+		pred := make([]float64, len(jobs))
+		for i, j := range jobs {
+			// A job that will fail its cheap validation (unknown benchmark,
+			// invalid config) sorts ahead of everything: LPT must not bury a
+			// doomed job behind long simulations, or the batch's fail-fast
+			// guarantee becomes fail-after-the-longest-cell. The job still
+			// runs normally — this only restores its dispatch position.
+			if _, err := kernels.Benchmark(j.Bench); err != nil {
+				pred[i] = math.Inf(1)
+			} else if err := j.Cfg.Validate(); err != nil {
+				pred[i] = math.Inf(1)
+			} else {
+				pred[i] = cost.Predict(j.Bench, j.Cfg, r.Scale)
+			}
+		}
+		order = lptOrder(pred)
+		leases = NewWorkerLeases(r.budget() - workers*iw)
+		ctx = WithWorkerLeases(ctx, leases)
+	}
+
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	next := make(chan int)
 	go func() {
 		defer close(next)
-		for i := range jobs {
+		for _, i := range order {
 			select {
 			case next <- i:
 			case <-ctx.Done():
@@ -101,6 +149,11 @@ func (r *Runner) RunManyCtx(ctx context.Context, jobs []Job) ([]*sim.Report, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if leases != nil {
+				// The worker's budget share outlives it as lease tokens for
+				// the jobs still running (tail reallocation).
+				defer leases.Release(iw)
+			}
 			for i := range next {
 				rep, err := r.RunCfgCtx(ctx, jobs[i].Bench, jobs[i].Cfg)
 				if err != nil {

@@ -16,7 +16,16 @@ import (
 // The engine alternates two kinds of phases, separated by a sense-reversing
 // barrier whose last arriver runs a short coordinator section (advance).
 //
-// Compute phase. Workers step disjoint contiguous SM shards. Each SM runs at
+// Compute phase. Workers step disjoint SM sets. By default the sets are not
+// fixed shards: each window, workers claim SM indices one at a time from a
+// shared atomic counter (reset by the coordinator when it opens the window),
+// so a worker whose claimed SMs all fast-forwarded or drained keeps claiming
+// live SMs instead of spinning at the barrier while another worker steps a
+// long shard alone. Claiming only decides *which goroutine* steps an SM —
+// every per-SM observable (pos, pendingAt, staged ops) lives in per-SM slots
+// written solely by the claiming worker within the window and handed across
+// the barrier, so any claim interleaving produces byte-identical results.
+// cfg.DisableShardSteal restores the fixed contiguous shards. Each SM runs at
 // its own position pos[i] through a window of up to winEnd: sm.step touches
 // only SM-private state (warp tables, pipes, gating controllers, L1, MSHR)
 // and *stages* global-memory requests on its port (sm.memStage) instead of
@@ -48,6 +57,18 @@ import (
 // return value never depends on memory resolution, and everything resolution
 // patches is only read by a later step — plus the bank partition's exactness
 // (see mem.GPUMem) and the frontier ordering rule above.
+//
+// Worker growth. A run handed a WorkerPool (GPU.SetWorkerPool) may gain
+// workers while it runs: each time the coordinator opens a compute window it
+// polls the pool, and for every lease granted it spawns a joiner goroutine
+// parameterized with the epoch value that opens the window. The joiner spins
+// until the epoch reaches that value and then enters the normal worker loop,
+// so it participates in exactly the phases the incremented worker count
+// expects — the barrier count and the worker population change atomically at
+// one epoch boundary, never mid-phase. Growth re-partitions claim order and
+// bank ranges only; like stealing it cannot move any op's resolve cycle, so
+// results stay byte-identical at any allocation history. Leases are returned
+// to the pool when the run exits.
 //
 // Relaxed mode (cfg.EpochRelaxedCycles = R > 0) trades exactness for fewer
 // barriers: SMs do not park on device staging but run freely through a
@@ -100,15 +121,27 @@ type parRun struct {
 	ctxDone  <-chan struct{}
 	canceled bool
 
-	workers   int32
+	// workers is the current worker population. It is written only inside the
+	// coordinator section (growth) but read in the barrier hot path by every
+	// worker, concurrently with that write, so it is atomic.
+	workers    atomic.Int32
+	maxWorkers int32      // growth ceiling: len(g.sms)
+	pool       WorkerPool // nil = fixed allocation
+	acquired   int        // pool leases held, returned after the run
+	wg         *sync.WaitGroup
+
 	maxCycles int64
 	batch     int64 // exact-mode window length (cfg.EffectiveBatchCycles)
 	relax     int64 // relaxed-mode window length, 0 = exact
 	nBanks    int
+	steal     bool // claim SM indices per window instead of fixed shards
 	shards    []shardResult
 
 	arrived atomic.Int32
 	epoch   atomic.Uint32
+	// claim is the shared steal index: the next SM index to step this compute
+	// window. The coordinator resets it to zero when it opens a window.
+	claim atomic.Int64
 
 	op     parOp
 	winEnd int64 // first cycle past the current compute window
@@ -141,21 +174,34 @@ func (g *GPU) runParallel(ctx context.Context, workers int) (*Report, error) {
 	}
 	var canceled bool
 	if live > 0 {
+		maxW := len(g.sms)
 		pr := &parRun{
-			g:         g,
-			ctxDone:   ctx.Done(),
-			workers:   int32(workers),
-			maxCycles: int64(g.cfg.MaxCycles),
-			batch:     int64(g.cfg.EffectiveBatchCycles()),
-			relax:     int64(g.cfg.EpochRelaxedCycles),
-			nBanks:    g.gmem.NumBanks(),
-			shards:    make([]shardResult, workers),
-			pos:       make([]int64, len(g.sms)),
-			pendingAt: make([]int64, len(g.sms)),
-			needFinal: make([]bool, len(g.sms)),
-			live:      live,
-			maxDrain:  -1,
+			g:          g,
+			ctxDone:    ctx.Done(),
+			maxWorkers: int32(maxW),
+			pool:       g.pool,
+			maxCycles:  int64(g.cfg.MaxCycles),
+			batch:      int64(g.cfg.EffectiveBatchCycles()),
+			relax:      int64(g.cfg.EpochRelaxedCycles),
+			nBanks:     g.gmem.NumBanks(),
+			steal:      !g.cfg.DisableShardSteal,
+			shards:     make([]shardResult, maxW),
+			pos:        make([]int64, len(g.sms)),
+			pendingAt:  make([]int64, len(g.sms)),
+			needFinal:  make([]bool, len(g.sms)),
+			live:       live,
+			maxDrain:   -1,
 		}
+		// A pool may top the allocation up before the first window too: jobs
+		// admitted when the job queue is already shorter than the worker
+		// budget start with the surplus instead of waiting for a boundary.
+		if pr.pool != nil && workers < maxW {
+			if got := pr.pool.TryAcquire(maxW - workers); got > 0 {
+				pr.acquired += got
+				workers += got
+			}
+		}
+		pr.workers.Store(int32(workers))
 		win := pr.batch
 		if pr.relax > 0 {
 			win = pr.relax
@@ -169,15 +215,20 @@ func (g *GPU) runParallel(ctx context.Context, workers int) (*Report, error) {
 			pr.winEnd = pr.maxCycles
 		}
 		var wg sync.WaitGroup
+		pr.wg = &wg
+		start := pr.epoch.Load()
 		for w := 1; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				pr.worker(w)
+				pr.worker(w, start)
 			}(w)
 		}
-		pr.worker(0)
+		pr.worker(0, start)
 		wg.Wait()
+		if pr.pool != nil && pr.acquired > 0 {
+			pr.pool.Release(pr.acquired)
+		}
 		canceled = pr.canceled
 	}
 	for _, sm := range g.sms {
@@ -192,23 +243,26 @@ func (g *GPU) runParallel(ctx context.Context, workers int) (*Report, error) {
 	return g.report(), nil
 }
 
-// worker owns the contiguous SM shard [w*n/W, (w+1)*n/W) and the bank range
-// [w*B/W, (w+1)*B/W), running whichever phase the coordinator scheduled; the
-// last worker to arrive at the barrier runs the coordinator section and
-// releases the others by advancing the epoch.
-func (pr *parRun) worker(w int) {
+// worker runs whichever phase the coordinator scheduled — claiming SM
+// indices from the shared steal counter (or stepping the fixed contiguous
+// shard [w*n/W, (w+1)*n/W) with stealing disabled) in compute phases, and
+// draining the bank range [w*B/W, (w+1)*B/W) in arbitration phases. The last
+// worker to arrive at the barrier runs the coordinator section and releases
+// the others by advancing the epoch. sentinel is the epoch value that opened
+// the worker's first phase: 0 for the initial population, the joining epoch
+// for workers a pool grew in later. Ranges are recomputed per phase because
+// growth changes W at epoch boundaries.
+func (pr *parRun) worker(w int, sentinel uint32) {
 	n := len(pr.g.sms)
-	lo, hi := w*n/int(pr.workers), (w+1)*n/int(pr.workers)
-	bankLo, bankHi := w*pr.nBanks/int(pr.workers), (w+1)*pr.nBanks/int(pr.workers)
 	cur := make([]int32, n) // bank-merge cursors, one slot per possible port
-	sentinel := pr.epoch.Load()
 	for {
 		if pr.op == opCompute {
-			pr.compute(w, lo, hi)
+			pr.compute(w)
 		} else {
-			pr.resolveBanks(bankLo, bankHi, cur)
+			W := int(pr.workers.Load())
+			pr.resolveBanks(w*pr.nBanks/W, (w+1)*pr.nBanks/W, cur)
 		}
-		if pr.arrived.Add(1) == pr.workers {
+		if pr.arrived.Add(1) == pr.workers.Load() {
 			pr.advance()
 			pr.arrived.Store(0)
 			pr.epoch.Add(1)
@@ -226,28 +280,43 @@ func (pr *parRun) worker(w int) {
 	}
 }
 
-// compute steps the worker's SMs through the current window. Each SM first
-// books writebacks left from the previous arbitration phase (finishMemory),
-// then steps from its own position until the window ends, it drains, or — in
-// exact mode — it stages a device access and parks. Pure-L1 staging cycles
-// are finished inline: they read nothing shared, and the merge fills they
-// look up cannot be unpatched sentinels because the SM parks (exact) or the
-// window drains (relaxed) before any unresolved device op could linger.
-func (pr *parRun) compute(w, lo, hi int) {
+// join is the entry point of a worker the coordinator grew in mid-run: it
+// waits for the epoch that opens the compute window it was hired for, then
+// runs the normal loop.
+func (pr *parRun) join(w int, start uint32) {
+	defer pr.wg.Done()
+	for spins := 0; pr.epoch.Load() != start; spins++ {
+		if spins >= spinYield {
+			runtime.Gosched()
+		}
+	}
+	pr.worker(w, start)
+}
+
+// compute steps SMs through the current window — claimed one at a time from
+// the shared steal index, or the worker's fixed shard with stealing off. Each
+// SM first books writebacks left from the previous arbitration phase
+// (finishMemory), then steps from its own position until the window ends, it
+// drains, or — in exact mode — it stages a device access and parks. Pure-L1
+// staging cycles are finished inline: they read nothing shared, and the merge
+// fills they look up cannot be unpatched sentinels because the SM parks
+// (exact) or the window drains (relaxed) before any unresolved device op
+// could linger.
+func (pr *parRun) compute(w int) {
 	g := pr.g
 	end := pr.winEnd
 	relax := pr.relax > 0
 	var drained int64
 	maxDrain := int64(-1)
 	anyStaged := false
-	for i := lo; i < hi; i++ {
+	stepSM := func(i int) {
 		sm := g.sms[i]
 		if pr.needFinal[i] {
 			pr.needFinal[i] = false
 			sm.finishMemory()
 		}
 		if sm.drained || pr.pendingAt[i] >= 0 {
-			continue
+			return
 		}
 		c := pr.pos[i]
 		for c < end {
@@ -277,6 +346,21 @@ func (pr *parRun) compute(w, lo, hi int) {
 			anyStaged = true
 		}
 		pr.pos[i] = c
+	}
+	n := len(g.sms)
+	if pr.steal {
+		for {
+			i := int(pr.claim.Add(1)) - 1
+			if i >= n {
+				break
+			}
+			stepSM(i)
+		}
+	} else {
+		W := int(pr.workers.Load())
+		for i := w * n / W; i < (w+1)*n/W; i++ {
+			stepSM(i)
+		}
 	}
 	s := &pr.shards[w]
 	s.drained, s.maxDrain, s.staged = drained, maxDrain, anyStaged
@@ -429,6 +513,27 @@ func (pr *parRun) advance() {
 		if pr.maxCycles > 0 && end > pr.maxCycles {
 			end = pr.maxCycles
 		}
+		// A compute window is about to open: this is the only point worker
+		// growth happens. Lease whatever the pool can spare up to the SM
+		// count, spawn the joiners parameterized with the epoch that opens
+		// this window, and publish the bigger population — the joiners enter
+		// exactly when the current workers do, so the barrier count and the
+		// worker set change together at one epoch boundary.
+		if pr.pool != nil {
+			if room := int(pr.maxWorkers - pr.workers.Load()); room > 0 {
+				if got := pr.pool.TryAcquire(room); got > 0 {
+					pr.acquired += got
+					w0 := int(pr.workers.Load())
+					start := pr.epoch.Load() + 1
+					for k := 0; k < got; k++ {
+						pr.wg.Add(1)
+						go pr.join(w0+k, start)
+					}
+					pr.workers.Store(int32(w0 + got))
+				}
+			}
+		}
+		pr.claim.Store(0)
 		pr.winEnd = end
 		pr.op = opCompute
 		return

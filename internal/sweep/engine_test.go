@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"warpedgates/internal/config"
+	"warpedgates/internal/core"
 	"warpedgates/internal/store"
 )
 
@@ -94,6 +95,49 @@ func TestSweepEndToEndStoreDedup(t *testing.T) {
 	t.Logf("sweep: %d cells, first run %v (%d sims), re-run %v (%d store hits)",
 		rep1.Cells, rep1.WallTime.Round(time.Millisecond), rep1.Simulated,
 		rep2.WallTime.Round(time.Millisecond), rep2.StoreHits)
+}
+
+// TestSweepSchedModesIdentical is the scheduler acceptance check at sweep
+// scale: the full 864-cell grid produces row-for-row identical reports under
+// the static split and the adaptive two-level schedule at several worker
+// shapes (including intra-run workers, which under adaptive seed a lease pool
+// that grows running cells mid-sweep). Cold engines, no store — every run
+// simulates everything — so equality is a property of the simulations, not a
+// shared cache.
+func TestSweepSchedModesIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hundreds of cells per mode; skipped with -short")
+	}
+	run := func(sched core.SchedMode, par, iw int) *Report {
+		base := sweepBase()
+		base.IntraRunWorkers = iw
+		e := &Engine{Base: base, Parallelism: par, Sched: sched}
+		rep, err := e.Run(context.Background(), bigSpec(), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed > 0 {
+			t.Fatalf("%s par=%d iw=%d: %d cells failed", sched, par, iw, rep.Failed)
+		}
+		return rep
+	}
+	want := run(core.SchedStatic, 1, 1)
+	if want.Cells < 500 {
+		t.Fatalf("grid has %d cells, want >= 500", want.Cells)
+	}
+	for _, tc := range []struct{ par, iw int }{{4, 1}, {4, 2}, {8, sweepBase().NumSMs}} {
+		got := run(core.SchedAdaptive, tc.par, tc.iw)
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("adaptive par=%d iw=%d: %d rows, want %d", tc.par, tc.iw, len(got.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			a, b := want.Results[i], got.Results[i]
+			if a.Key != b.Key || a.Cycles != b.Cycles || a.Issued != b.Issued || a.Err != b.Err {
+				t.Fatalf("adaptive par=%d iw=%d row %d differs:\nstatic:   %+v\nadaptive: %+v",
+					tc.par, tc.iw, i, a, b)
+			}
+		}
+	}
 }
 
 // TestSweepShardsComposeToWholeGrid runs the same spec as three separate
